@@ -1,0 +1,48 @@
+"""repro — a reproduction of "Performance Contracts for Software Network Functions".
+
+The package re-implements, in pure Python, the BOLT system presented at
+NSDI 2019 together with every substrate it depends on:
+
+* :mod:`repro.core` — performance contracts, the BOLT contract generator,
+  contract composition for NF chains, and the Distiller.
+* :mod:`repro.sym` — a from-scratch symbolic-execution engine (expressions,
+  solver, path exploration) used by BOLT to enumerate feasible paths through
+  the stateless NF code.
+* :mod:`repro.nfil` — the NF intermediate language in which the NFs of this
+  repository are written (register machine with branches, loads/stores and
+  calls), plus a concrete interpreter that doubles as the instruction tracer.
+* :mod:`repro.hw` — the conservative hardware model used by BOLT and the
+  "realistic" hardware model used by the simulated testbed.
+* :mod:`repro.net` — packets, protocol headers, flows and PCAP files.
+* :mod:`repro.structures` — the library of stateful NF data structures, each
+  with an instrumented concrete implementation, a symbolic model and a
+  hand-derived performance contract.
+* :mod:`repro.dpdk`, :mod:`repro.driver` — the packet-processing framework
+  and NIC-driver substrate included in "full stack" contracts.
+* :mod:`repro.nf` — the network functions evaluated in the paper (MAC bridge,
+  NAT, Maglev-like load balancer, LPM router, firewall, static router).
+* :mod:`repro.traffic` — workload generators, the MoonGen-like replayer and
+  the simulated testbed used to obtain "measured" numbers.
+* :mod:`repro.analysis` — CDF/CCDF helpers and table/figure rendering.
+"""
+
+from repro.core.contract import ContractEntry, PerformanceContract
+from repro.core.perfexpr import PerfExpr
+from repro.core.pcv import PCV, PCVRegistry
+from repro.core.bolt import Bolt, BoltConfig
+from repro.core.distiller import Distiller
+from repro.core.input_class import InputClass
+
+__all__ = [
+    "Bolt",
+    "BoltConfig",
+    "ContractEntry",
+    "Distiller",
+    "InputClass",
+    "PCV",
+    "PCVRegistry",
+    "PerfExpr",
+    "PerformanceContract",
+]
+
+__version__ = "1.0.0"

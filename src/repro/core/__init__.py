@@ -1,0 +1,37 @@
+"""Core of the reproduction: performance contracts and the BOLT tool-chain.
+
+The sub-modules mirror the structure of the paper:
+
+* :mod:`repro.core.pcv` — performance-critical variables (PCVs), §2.3.
+* :mod:`repro.core.perfexpr` — symbolic performance expressions over PCVs.
+* :mod:`repro.core.contract` — the performance-contract construct, §2.2.
+* :mod:`repro.core.input_class` — input (packet) class specifications.
+* :mod:`repro.core.bolt` — the BOLT contract generator, §3 (Algorithm 2).
+* :mod:`repro.core.composition` — contracts for chains of NFs, §3.4.
+* :mod:`repro.core.distiller` — the BOLT Distiller, §4.
+* :mod:`repro.core.report` — human-readable rendering of contracts.
+"""
+
+from repro.core.pcv import PCV, PCVRegistry
+from repro.core.perfexpr import PerfExpr
+from repro.core.contract import ContractEntry, PerformanceContract, Metric
+from repro.core.input_class import InputClass
+from repro.core.bolt import Bolt, BoltConfig
+from repro.core.composition import compose_contracts, naive_add_contracts
+from repro.core.distiller import Distiller, DistillerReport
+
+__all__ = [
+    "Bolt",
+    "BoltConfig",
+    "ContractEntry",
+    "Distiller",
+    "DistillerReport",
+    "InputClass",
+    "Metric",
+    "PCV",
+    "PCVRegistry",
+    "PerfExpr",
+    "PerformanceContract",
+    "compose_contracts",
+    "naive_add_contracts",
+]

@@ -1,0 +1,205 @@
+"""Performance-critical variables (PCVs).
+
+A PCV summarises the influence on performance of anything other than the
+packet currently being processed: the state built up by the input history,
+the configuration of the NF, or coarse properties of the input itself (such
+as the matched prefix length, §2.2 of the paper).
+
+PCVs are the variables in which performance contracts are expressed.  The
+paper's bridge contract (Table 4), for instance, is written over the PCVs
+``e`` (expired MAC entries), ``c`` (hash collisions), ``t`` (bucket
+traversals) and ``o`` (hash-table occupancy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, Mapping, Optional
+
+
+@dataclass(frozen=True)
+class PCV:
+    """A single performance-critical variable.
+
+    Attributes:
+        name: short symbol used inside performance expressions (``"e"``).
+        description: human-readable meaning ("number of expired flows").
+        structure: name of the data structure (or library routine) whose
+            contract introduced the PCV, if any.
+        min_value: smallest value the PCV can take (inclusive).
+        max_value: largest value the PCV can take (inclusive), or ``None``
+            when the bound depends on NF configuration (e.g. table capacity).
+        unit: optional unit ("entries", "iterations", "bits").
+    """
+
+    name: str
+    description: str = ""
+    structure: Optional[str] = None
+    min_value: int = 0
+    max_value: Optional[int] = None
+    unit: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("_", "").isalnum():
+            raise ValueError(f"invalid PCV name: {self.name!r}")
+        if self.max_value is not None and self.max_value < self.min_value:
+            raise ValueError(
+                f"PCV {self.name}: max_value {self.max_value} < min_value {self.min_value}"
+            )
+
+    def bounded(self) -> bool:
+        """Return True when the PCV has a known finite upper bound."""
+        return self.max_value is not None
+
+    def clamp(self, value: int) -> int:
+        """Clamp ``value`` into the PCV's declared range."""
+        value = max(value, self.min_value)
+        if self.max_value is not None:
+            value = min(value, self.max_value)
+        return value
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+class PCVRegistry:
+    """A registry of PCVs used by a contract, a structure or an NF.
+
+    The registry guarantees that two parties that talk about the PCV ``"c"``
+    talk about the same variable (same description and bounds); registering
+    an incompatible duplicate raises.
+    """
+
+    def __init__(self, pcvs: Iterable[PCV] = ()) -> None:
+        self._pcvs: Dict[str, PCV] = {}
+        for pcv in pcvs:
+            self.register(pcv)
+
+    def register(self, pcv: PCV) -> PCV:
+        """Register ``pcv``; return the canonical instance.
+
+        Registering a PCV whose name exists already is allowed only if the
+        existing definition is identical (same description/bounds) or if the
+        existing one has an empty description (in which case it is replaced).
+        """
+        existing = self._pcvs.get(pcv.name)
+        if existing is None:
+            self._pcvs[pcv.name] = pcv
+            return pcv
+        if existing == pcv:
+            return existing
+        if not existing.description and pcv.description:
+            self._pcvs[pcv.name] = pcv
+            return pcv
+        if not pcv.description:
+            return existing
+        raise ValueError(
+            f"conflicting definitions for PCV {pcv.name!r}: {existing} vs {pcv}"
+        )
+
+    def get(self, name: str) -> PCV:
+        """Return the PCV registered under ``name``."""
+        return self._pcvs[name]
+
+    def maybe_get(self, name: str) -> Optional[PCV]:
+        """Return the PCV registered under ``name`` or ``None``."""
+        return self._pcvs.get(name)
+
+    def ensure(self, name: str, **kwargs: object) -> PCV:
+        """Return the PCV named ``name``, creating a bare one if unknown."""
+        if name in self._pcvs:
+            return self._pcvs[name]
+        return self.register(PCV(name=name, **kwargs))  # type: ignore[arg-type]
+
+    def names(self) -> list[str]:
+        """Return the registered names, sorted for deterministic output."""
+        return sorted(self._pcvs)
+
+    def merge(self, other: "PCVRegistry") -> "PCVRegistry":
+        """Return a new registry containing the PCVs of both registries."""
+        merged = PCVRegistry(self._pcvs.values())
+        for pcv in other:
+            merged.register(pcv)
+        return merged
+
+    def default_bounds(self) -> Dict[str, int]:
+        """Return ``{name: max_value}`` for every bounded PCV."""
+        return {
+            name: pcv.max_value
+            for name, pcv in self._pcvs.items()
+            if pcv.max_value is not None
+        }
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._pcvs
+
+    def __iter__(self) -> Iterator[PCV]:
+        return iter(self._pcvs.values())
+
+    def __len__(self) -> int:
+        return len(self._pcvs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PCVRegistry({sorted(self._pcvs)})"
+
+
+# PCVs that recur throughout the paper's contracts.  Individual structures
+# register their own copies (possibly with structure-specific bounds); these
+# constants document the conventional meaning of each symbol.
+PCV_EXPIRED = PCV("e", "number of expired entries processed for this packet")
+PCV_COLLISIONS = PCV("c", "number of hash collisions encountered in the hash table")
+PCV_TRAVERSALS = PCV("t", "number of bucket traversals incurred in the hash table")
+PCV_OCCUPANCY = PCV("o", "occupancy of the hash table (number of stored entries)")
+PCV_PREFIX_LEN = PCV("l", "length of the matched IP prefix", min_value=0, max_value=32, unit="bits")
+PCV_IP_OPTIONS = PCV("n", "number of IP options carried by the packet", min_value=0, max_value=10)
+PCV_RING_TRAVERSALS = PCV("r", "number of hash-ring bucket traversals", min_value=0)
+
+
+def standard_registry() -> PCVRegistry:
+    """Return a registry pre-populated with the paper's conventional PCVs."""
+    return PCVRegistry(
+        [
+            PCV_EXPIRED,
+            PCV_COLLISIONS,
+            PCV_TRAVERSALS,
+            PCV_OCCUPANCY,
+            PCV_PREFIX_LEN,
+            PCV_IP_OPTIONS,
+            PCV_RING_TRAVERSALS,
+        ]
+    )
+
+
+def validate_bindings(
+    registry: PCVRegistry, bindings: Mapping[str, int], *, partial: bool = True
+) -> Dict[str, int]:
+    """Validate PCV value bindings against a registry.
+
+    Args:
+        registry: the registry the bindings refer to.
+        bindings: mapping from PCV name to concrete value.
+        partial: when False, every registered PCV must be bound.
+
+    Returns:
+        A plain ``dict`` copy of the validated bindings.
+
+    Raises:
+        KeyError: a binding refers to an unknown PCV, or (when ``partial`` is
+            False) a registered PCV is missing.
+        ValueError: a value lies outside the PCV's declared range.
+    """
+    result: Dict[str, int] = {}
+    for name, value in bindings.items():
+        pcv = registry.maybe_get(name)
+        if pcv is None:
+            raise KeyError(f"unknown PCV {name!r}")
+        if value < pcv.min_value:
+            raise ValueError(f"PCV {name}={value} below minimum {pcv.min_value}")
+        if pcv.max_value is not None and value > pcv.max_value:
+            raise ValueError(f"PCV {name}={value} above maximum {pcv.max_value}")
+        result[name] = int(value)
+    if not partial:
+        missing = [name for name in registry.names() if name not in result]
+        if missing:
+            raise KeyError(f"missing bindings for PCVs: {missing}")
+    return result

@@ -1,0 +1,74 @@
+"""NFIL — the NF intermediate language.
+
+The paper analyses NFs written in C by compiling them to LLVM bit-code,
+symbolically executing the stateless part, and replaying concrete inputs
+under a binary instrumentation tool to count instructions and memory
+accesses.  This reproduction substitutes a small intermediate language with
+the same observables:
+
+* a register machine (64-bit registers) with arithmetic, comparisons,
+  loads/stores into a byte-addressable memory, conditional branches and
+  calls,
+* *extern* calls representing the stateful data-structure methods of the
+  Vigor-style library (replaced by symbolic models during analysis and by
+  the real instrumented structures during measurement),
+* a concrete interpreter that doubles as the instruction/memory tracer
+  (the role Intel Pin plays in the paper), and
+* a verifier for the IR.
+
+One executed NFIL instruction counts as one dynamic instruction; one load or
+store counts as one memory access.
+"""
+
+from repro.nfil.instructions import (
+    BinOp,
+    Br,
+    Call,
+    Cmp,
+    ConstInstr,
+    Imm,
+    Jmp,
+    Load,
+    Ret,
+    Reg,
+    Select,
+    Store,
+    WORD_BITS,
+)
+from repro.nfil.program import BasicBlock, ExternDecl, Function, Module, Param
+from repro.nfil.builder import FunctionBuilder
+from repro.nfil.interpreter import ExternHandler, Interpreter, Memory, StepLimitExceeded
+from repro.nfil.tracer import ExecutionTrace, ExternCall, MemAccess
+from repro.nfil.validate import ValidationError, validate_function, validate_module
+
+__all__ = [
+    "BasicBlock",
+    "BinOp",
+    "Br",
+    "Call",
+    "Cmp",
+    "ConstInstr",
+    "ExecutionTrace",
+    "ExternCall",
+    "ExternDecl",
+    "ExternHandler",
+    "Function",
+    "FunctionBuilder",
+    "Imm",
+    "Interpreter",
+    "Jmp",
+    "Load",
+    "MemAccess",
+    "Memory",
+    "Module",
+    "Param",
+    "Reg",
+    "Ret",
+    "Select",
+    "StepLimitExceeded",
+    "Store",
+    "ValidationError",
+    "WORD_BITS",
+    "validate_function",
+    "validate_module",
+]

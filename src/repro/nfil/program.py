@@ -1,0 +1,148 @@
+"""NFIL program containers: basic blocks, functions, modules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.nfil.instructions import Instruction
+
+
+@dataclass
+class Param:
+    """A function parameter (always a 64-bit register)."""
+
+    name: str
+
+
+@dataclass
+class BasicBlock:
+    """A labelled, straight-line sequence of instructions.
+
+    The last instruction must be a terminator (branch, jump or return); the
+    verifier in :mod:`repro.nfil.validate` enforces this.
+    """
+
+    label: str
+    instructions: List[Instruction] = field(default_factory=list)
+
+    def append(self, instruction: Instruction) -> None:
+        """Append an instruction to the block."""
+        self.instructions.append(instruction)
+
+    @property
+    def terminator(self) -> Optional[Instruction]:
+        """Return the block's terminator, or None if it has none yet."""
+        if self.instructions and self.instructions[-1].is_terminator():
+            return self.instructions[-1]
+        return None
+
+    def __str__(self) -> str:
+        lines = [f"{self.label}:"]
+        lines.extend(f"  {instruction}" for instruction in self.instructions)
+        return "\n".join(lines)
+
+
+@dataclass
+class Function:
+    """An NFIL function: parameters, labelled blocks, entry label."""
+
+    name: str
+    params: List[Param] = field(default_factory=list)
+    blocks: Dict[str, BasicBlock] = field(default_factory=dict)
+    entry: str = "entry"
+
+    def block(self, label: str) -> BasicBlock:
+        """Return (creating if needed) the block with the given label."""
+        if label not in self.blocks:
+            self.blocks[label] = BasicBlock(label)
+        return self.blocks[label]
+
+    def param_names(self) -> List[str]:
+        """Return the parameter names in declaration order."""
+        return [param.name for param in self.params]
+
+    def instruction_count(self) -> int:
+        """Return the static number of instructions in the function."""
+        return sum(len(block.instructions) for block in self.blocks.values())
+
+    def __str__(self) -> str:
+        header = f"func {self.name}({', '.join(self.param_names())})"
+        body = "\n".join(str(self.blocks[label]) for label in self.blocks)
+        return f"{header}\n{body}"
+
+
+@dataclass(frozen=True)
+class ExternDecl:
+    """Declaration of an extern (stateful library method).
+
+    Attributes:
+        name: symbol used at call sites.
+        arity: number of arguments the extern expects.
+        returns_value: whether the extern produces a return value.
+        structure: name of the data structure the extern belongs to (used to
+            look up symbolic models and performance contracts).
+        method: method name within the structure.
+    """
+
+    name: str
+    arity: int
+    returns_value: bool = True
+    structure: str = ""
+    method: str = ""
+
+
+@dataclass
+class Module:
+    """A collection of NFIL functions plus extern declarations."""
+
+    name: str
+    functions: Dict[str, Function] = field(default_factory=dict)
+    externs: Dict[str, ExternDecl] = field(default_factory=dict)
+
+    def add_function(self, function: Function) -> Function:
+        """Register a function; raises on duplicate names."""
+        if function.name in self.functions or function.name in self.externs:
+            raise ValueError(f"duplicate symbol {function.name!r} in module {self.name!r}")
+        self.functions[function.name] = function
+        return function
+
+    def declare_extern(
+        self,
+        name: str,
+        arity: int,
+        *,
+        returns_value: bool = True,
+        structure: str = "",
+        method: str = "",
+    ) -> ExternDecl:
+        """Declare an extern symbol; re-declaration must be identical."""
+        decl = ExternDecl(name, arity, returns_value, structure, method)
+        existing = self.externs.get(name)
+        if existing is not None:
+            if existing != decl:
+                raise ValueError(f"conflicting extern declarations for {name!r}")
+            return existing
+        if name in self.functions:
+            raise ValueError(f"symbol {name!r} already defined as a function")
+        self.externs[name] = decl
+        return decl
+
+    def get_function(self, name: str) -> Function:
+        """Return the function named ``name``."""
+        return self.functions[name]
+
+    def is_extern(self, name: str) -> bool:
+        """Return True when ``name`` refers to an extern declaration."""
+        return name in self.externs
+
+    def instruction_count(self) -> int:
+        """Return the static instruction count over all functions."""
+        return sum(function.instruction_count() for function in self.functions.values())
+
+    def __str__(self) -> str:
+        parts = [f"module {self.name}"]
+        for decl in self.externs.values():
+            parts.append(f"extern {decl.name}/{decl.arity}")
+        parts.extend(str(function) for function in self.functions.values())
+        return "\n\n".join(parts)

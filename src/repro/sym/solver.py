@@ -1,0 +1,408 @@
+"""A small constraint solver for path feasibility and input generation.
+
+BOLT needs two things from a solver (§3.3):
+
+1. decide whether a path condition is feasible, and
+2. produce a concrete model (packet bytes, model outputs) that exercises a
+   feasible path, so the path can be replayed through the instruction tracer.
+
+The NF stateless code produced by the Vigor-style split branches on packet
+header fields and on the outputs of data-structure models, so its path
+conditions are conjunctions of (in)equalities over bit-vectors — a fragment
+that the following combination handles well:
+
+* constant folding / flattening,
+* unit propagation of equalities ``sym == const``,
+* interval propagation for comparisons against constants,
+* a bounded DFS over candidate values mined from the constraints, with
+  partial-evaluation pruning, followed by a seeded random phase.
+
+The solver is **conservative**: it answers UNSAT only with a proof (a folded
+contradiction or an empty interval), and SAT only with a verified model.
+Everything else is UNKNOWN, which BOLT treats as "possibly feasible", so the
+resulting contracts never silently drop a path.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.sym import expr as E
+from repro.sym.expr import BV, BinOp, BoolOp, Cmp, Const, Not, Sym, evaluate, free_symbols
+from repro.sym.simplify import simplify, substitute
+
+__all__ = ["CheckResult", "Solver", "SolverStats"]
+
+
+class CheckResult(enum.Enum):
+    """Outcome of a satisfiability check."""
+
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class SolverStats:
+    """Counters describing the work a solver instance has performed."""
+
+    checks: int = 0
+    sat: int = 0
+    unsat: int = 0
+    unknown: int = 0
+    search_nodes: int = 0
+
+    def record(self, result: CheckResult) -> None:
+        self.checks += 1
+        if result is CheckResult.SAT:
+            self.sat += 1
+        elif result is CheckResult.UNSAT:
+            self.unsat += 1
+        else:
+            self.unknown += 1
+
+
+@dataclass
+class _Interval:
+    """A closed unsigned interval with excluded points."""
+
+    lo: int
+    hi: int
+    excluded: set[int] = field(default_factory=set)
+
+    def is_empty(self) -> bool:
+        if self.lo > self.hi:
+            return True
+        # Only treat the interval as empty when exclusions provably cover it
+        # (cheap check for small intervals).
+        size = self.hi - self.lo + 1
+        if size <= len(self.excluded) + 1 and size <= 4096:
+            return all(value in self.excluded for value in range(self.lo, self.hi + 1))
+        return False
+
+    def clamp(self, value: int) -> int:
+        return min(max(value, self.lo), self.hi)
+
+
+class Solver:
+    """Constraint solver over the :mod:`repro.sym.expr` language."""
+
+    def __init__(
+        self,
+        *,
+        max_search_nodes: int = 50_000,
+        max_candidates_per_symbol: int = 16,
+        random_tries: int = 2_000,
+        seed: int = 0,
+    ) -> None:
+        self.max_search_nodes = max_search_nodes
+        self.max_candidates_per_symbol = max_candidates_per_symbol
+        self.random_tries = random_tries
+        self._rng = random.Random(seed)
+        self.stats = SolverStats()
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def check(self, constraints: Iterable[BV]) -> CheckResult:
+        """Return SAT/UNSAT/UNKNOWN for the conjunction of ``constraints``."""
+        result, _ = self._solve(list(constraints))
+        self.stats.record(result)
+        return result
+
+    def model(self, constraints: Iterable[BV]) -> Optional[Dict[str, int]]:
+        """Return a satisfying assignment, or None if none was found.
+
+        A returned model is always verified against the original constraints.
+        """
+        result, model = self._solve(list(constraints))
+        self.stats.record(result)
+        if result is CheckResult.SAT:
+            return model
+        return None
+
+    def is_feasible(self, constraints: Iterable[BV]) -> bool:
+        """Return True unless the constraints are provably unsatisfiable.
+
+        This is the conservative interpretation BOLT uses when exploring
+        paths: UNKNOWN counts as feasible.
+        """
+        return self.check(constraints) is not CheckResult.UNSAT
+
+    def implied(self, constraints: Sequence[BV], hypothesis: BV) -> bool:
+        """Return True when ``constraints`` provably imply ``hypothesis``.
+
+        Implemented as "constraints AND NOT hypothesis is UNSAT"; UNKNOWN
+        means "not proven", hence False.
+        """
+        negated = E.bnot(hypothesis)
+        result, _ = self._solve(list(constraints) + [negated])
+        self.stats.record(result)
+        return result is CheckResult.UNSAT
+
+    # ------------------------------------------------------------------ #
+    # Core solving pipeline
+    # ------------------------------------------------------------------ #
+    def _solve(self, constraints: List[BV]) -> Tuple[CheckResult, Optional[Dict[str, int]]]:
+        flat = self._flatten(constraints)
+        if flat is None:
+            return CheckResult.UNSAT, None
+        if not flat:
+            return CheckResult.SAT, {}
+
+        assignment: Dict[str, int] = {}
+        flat = self._unit_propagate(flat, assignment)
+        if flat is None:
+            return CheckResult.UNSAT, None
+
+        symbols = self._collect_symbols(flat)
+        if not symbols:
+            # All constraints reduced to constants during propagation.
+            if all(isinstance(c, Const) and c.value == 1 for c in flat):
+                return CheckResult.SAT, assignment
+            return CheckResult.UNSAT, None
+
+        intervals = self._intervals(flat, symbols)
+        if intervals is None:
+            return CheckResult.UNSAT, None
+
+        model = self._search(flat, symbols, intervals, assignment, constraints)
+        if model is not None:
+            return CheckResult.SAT, model
+        model = self._random_phase(symbols, intervals, assignment, constraints)
+        if model is not None:
+            return CheckResult.SAT, model
+        return CheckResult.UNKNOWN, None
+
+    def _flatten(self, constraints: Sequence[BV]) -> Optional[List[BV]]:
+        """Simplify, flatten conjunctions, drop tautologies; None on contradiction."""
+        flat: List[BV] = []
+        queue = list(constraints)
+        while queue:
+            constraint = simplify(queue.pop())
+            if isinstance(constraint, Const):
+                if constraint.value == 0:
+                    return None
+                continue
+            if isinstance(constraint, BoolOp) and constraint.op == "and":
+                queue.extend(constraint.parts)
+                continue
+            flat.append(constraint)
+        return flat
+
+    def _unit_propagate(
+        self, constraints: List[BV], assignment: Dict[str, int]
+    ) -> Optional[List[BV]]:
+        """Repeatedly apply ``sym == const`` facts; None on contradiction."""
+        changed = True
+        current = constraints
+        while changed:
+            changed = False
+            units: Dict[str, int] = {}
+            for constraint in current:
+                if isinstance(constraint, Cmp) and constraint.op == "eq":
+                    sym, value = self._as_sym_const(constraint)
+                    if sym is not None and sym.name not in units:
+                        units[sym.name] = value
+            new_units = {name: value for name, value in units.items() if name not in assignment}
+            if not new_units:
+                break
+            assignment.update(new_units)
+            substituted = [substitute(constraint, new_units) for constraint in current]
+            current = self._flatten(substituted)
+            if current is None:
+                return None
+            changed = True
+        return current
+
+    @staticmethod
+    def _as_sym_const(constraint: Cmp) -> Tuple[Optional[Sym], int]:
+        if isinstance(constraint.a, Sym) and isinstance(constraint.b, Const):
+            return constraint.a, constraint.b.value
+        if isinstance(constraint.b, Sym) and isinstance(constraint.a, Const):
+            return constraint.b, constraint.a.value
+        return None, 0
+
+    @staticmethod
+    def _collect_symbols(constraints: Sequence[BV]) -> Dict[str, int]:
+        symbols: Dict[str, int] = {}
+        for constraint in constraints:
+            symbols.update(free_symbols(constraint))
+        return symbols
+
+    def _intervals(
+        self, constraints: Sequence[BV], symbols: Mapping[str, int]
+    ) -> Optional[Dict[str, _Interval]]:
+        """Derive per-symbol intervals from comparisons against constants."""
+        intervals = {
+            name: _Interval(0, E.mask(width)) for name, width in symbols.items()
+        }
+        for constraint in constraints:
+            pieces = [constraint]
+            if isinstance(constraint, Cmp):
+                self._narrow(intervals, constraint)
+        for interval in intervals.values():
+            if interval.is_empty():
+                return None
+        return intervals
+
+    @staticmethod
+    def _narrow(intervals: Dict[str, _Interval], constraint: Cmp) -> None:
+        sym: Optional[Sym] = None
+        value = 0
+        flipped = False
+        if isinstance(constraint.a, Sym) and isinstance(constraint.b, Const):
+            sym, value = constraint.a, constraint.b.value
+        elif isinstance(constraint.b, Sym) and isinstance(constraint.a, Const):
+            sym, value = constraint.b, constraint.a.value
+            flipped = True
+        if sym is None or sym.name not in intervals:
+            return
+        interval = intervals[sym.name]
+        op = constraint.op
+        if flipped:
+            flip = {"ult": "ugt", "ule": "uge", "ugt": "ult", "uge": "ule"}
+            op = flip.get(op, op)
+        if op == "eq":
+            interval.lo = max(interval.lo, value)
+            interval.hi = min(interval.hi, value)
+        elif op == "ne":
+            interval.excluded.add(value)
+        elif op == "ult":
+            interval.hi = min(interval.hi, value - 1)
+        elif op == "ule":
+            interval.hi = min(interval.hi, value)
+        elif op == "ugt":
+            interval.lo = max(interval.lo, value + 1)
+        elif op == "uge":
+            interval.lo = max(interval.lo, value)
+
+    def _candidate_values(
+        self,
+        name: str,
+        width: int,
+        interval: _Interval,
+        constraints: Sequence[BV],
+    ) -> List[int]:
+        """Mine promising candidate values for one symbol."""
+        candidates: List[int] = []
+        mentioned: List[int] = []
+        for constraint in constraints:
+            mentioned.extend(self._constants_near_symbol(constraint, name))
+        seeds = [interval.lo, interval.hi, 0, 1]
+        for value in mentioned:
+            seeds.extend((value, value + 1, value - 1))
+        seen: set[int] = set()
+        for value in seeds:
+            value = interval.clamp(value)
+            if value in interval.excluded:
+                for bumped in (value + 1, value - 1, value + 2):
+                    bumped = interval.clamp(bumped)
+                    if bumped not in interval.excluded:
+                        value = bumped
+                        break
+            if 0 <= value <= E.mask(width) and value not in seen:
+                seen.add(value)
+                candidates.append(value)
+            if len(candidates) >= self.max_candidates_per_symbol:
+                break
+        if not candidates:
+            candidates.append(interval.clamp(0))
+        return candidates
+
+    @staticmethod
+    def _constants_near_symbol(constraint: BV, name: str) -> List[int]:
+        """Collect constants that appear in sub-expressions mentioning ``name``."""
+        found: List[int] = []
+
+        def mentions(node: BV) -> bool:
+            return name in free_symbols(node)
+
+        stack = [constraint]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (Cmp, BinOp)):
+                a, b = node.a, node.b
+                if isinstance(b, Const) and mentions(a):
+                    found.append(b.value)
+                if isinstance(a, Const) and mentions(b):
+                    found.append(a.value)
+            stack.extend(node.children())
+        return found
+
+    def _verify(
+        self, original: Sequence[BV], model: Mapping[str, int]
+    ) -> bool:
+        return all(evaluate(constraint, model) == 1 for constraint in original)
+
+    def _search(
+        self,
+        constraints: List[BV],
+        symbols: Dict[str, int],
+        intervals: Dict[str, _Interval],
+        assignment: Dict[str, int],
+        original: Sequence[BV],
+    ) -> Optional[Dict[str, int]]:
+        """Bounded DFS over mined candidate values with pruning."""
+        names = sorted(symbols)
+        candidates = {
+            name: self._candidate_values(name, symbols[name], intervals[name], constraints)
+            for name in names
+        }
+        names.sort(key=lambda name: len(candidates[name]))
+        budget = [self.max_search_nodes]
+
+        def recurse(index: int, remaining: List[BV], partial: Dict[str, int]) -> Optional[Dict[str, int]]:
+            if budget[0] <= 0:
+                return None
+            if index == len(names):
+                model = dict(assignment)
+                model.update(partial)
+                if self._verify(original, model):
+                    return model
+                return None
+            name = names[index]
+            for value in candidates[name]:
+                budget[0] -= 1
+                self.stats.search_nodes += 1
+                if budget[0] <= 0:
+                    return None
+                substituted = [substitute(constraint, {name: value}) for constraint in remaining]
+                flat = self._flatten(substituted)
+                if flat is None:
+                    continue
+                partial[name] = value
+                found = recurse(index + 1, flat, partial)
+                if found is not None:
+                    return found
+                del partial[name]
+            return None
+
+        return recurse(0, constraints, {})
+
+    def _random_phase(
+        self,
+        symbols: Dict[str, int],
+        intervals: Dict[str, _Interval],
+        assignment: Dict[str, int],
+        original: Sequence[BV],
+    ) -> Optional[Dict[str, int]]:
+        """Last-resort randomized assignment within the derived intervals."""
+        names = sorted(symbols)
+        for _ in range(self.random_tries):
+            model = dict(assignment)
+            for name in names:
+                interval = intervals[name]
+                span = interval.hi - interval.lo
+                if span <= 0:
+                    value = interval.lo
+                else:
+                    value = interval.lo + self._rng.randrange(span + 1)
+                model[name] = value
+            if self._verify(original, model):
+                return model
+        return None
