@@ -1,32 +1,28 @@
 """repro — a reproduction of "Performance Contracts for Software Network Functions".
 
 The package re-implements, in pure Python, the BOLT system presented at
-NSDI 2019 together with every substrate it depends on:
+NSDI 2019 together with the substrates it depends on:
 
-* :mod:`repro.core` — performance contracts, the BOLT contract generator,
-  contract composition for NF chains, and the Distiller.
+* :mod:`repro.core` — performance contracts, the BOLT contract generator
+  (Algorithm 2), contract composition for NF chains, the Distiller, and
+  contract rendering.
 * :mod:`repro.sym` — a from-scratch symbolic-execution engine (expressions,
-  solver, path exploration) used by BOLT to enumerate feasible paths through
-  the stateless NF code.
+  solver, symbolic state, path exploration) used by BOLT to enumerate
+  feasible paths through the stateless NF code.
 * :mod:`repro.nfil` — the NF intermediate language in which the NFs of this
   repository are written (register machine with branches, loads/stores and
-  calls), plus a concrete interpreter that doubles as the instruction tracer.
-* :mod:`repro.hw` — the conservative hardware model used by BOLT and the
-  "realistic" hardware model used by the simulated testbed.
-* :mod:`repro.net` — packets, protocol headers, flows and PCAP files.
-* :mod:`repro.structures` — the library of stateful NF data structures, each
-  with an instrumented concrete implementation, a symbolic model and a
-  hand-derived performance contract.
-* :mod:`repro.dpdk`, :mod:`repro.driver` — the packet-processing framework
-  and NIC-driver substrate included in "full stack" contracts.
-* :mod:`repro.nf` — the network functions evaluated in the paper (MAC bridge,
-  NAT, Maglev-like load balancer, LPM router, firewall, static router).
-* :mod:`repro.traffic` — workload generators, the MoonGen-like replayer and
-  the simulated testbed used to obtain "measured" numbers.
-* :mod:`repro.analysis` — CDF/CCDF helpers and table/figure rendering.
+  calls), plus a concrete interpreter that doubles as the instruction tracer
+  (the role Intel Pin plays in the paper).
+* :mod:`repro.nf` — the network functions under analysis; currently the
+  MAC learning bridge, complete with an instrumented concrete MAC table and
+  its symbolic model.
+
+Follow-on layers tracked in ROADMAP.md (hardware models, the stateful
+structure library, traffic generation/replay, packet/protocol helpers,
+analysis tooling) will register here as they land.
 """
 
-from repro.core.contract import ContractEntry, PerformanceContract
+from repro.core.contract import ContractEntry, Metric, PerformanceContract
 from repro.core.perfexpr import PerfExpr
 from repro.core.pcv import PCV, PCVRegistry
 from repro.core.bolt import Bolt, BoltConfig
@@ -39,6 +35,7 @@ __all__ = [
     "ContractEntry",
     "Distiller",
     "InputClass",
+    "Metric",
     "PCV",
     "PCVRegistry",
     "PerfExpr",

@@ -14,11 +14,12 @@ The sub-modules mirror the structure of the paper:
 
 from repro.core.pcv import PCV, PCVRegistry
 from repro.core.perfexpr import PerfExpr
-from repro.core.contract import ContractEntry, PerformanceContract, Metric
+from repro.core.contract import ContractEntry, PerformanceContract, Metric, upper_envelope
 from repro.core.input_class import InputClass
 from repro.core.bolt import Bolt, BoltConfig
 from repro.core.composition import compose_contracts, naive_add_contracts
 from repro.core.distiller import Distiller, DistillerReport
+from repro.core.report import format_contract
 
 __all__ = [
     "Bolt",
@@ -33,5 +34,7 @@ __all__ = [
     "PerfExpr",
     "PerformanceContract",
     "compose_contracts",
+    "format_contract",
     "naive_add_contracts",
+    "upper_envelope",
 ]

@@ -1,0 +1,107 @@
+"""Contract composition for NF chains (§3.4 of the paper).
+
+When NFs are chained (e.g. firewall → NAT → bridge), the chain's contract
+is derived from the per-NF contracts.  Two compositions are provided:
+
+* :func:`compose_contracts` — the precise cross product: one entry per
+  combination of per-NF input classes, expressions summed metric-wise.
+  Class predicates are not combined (model-output symbols of different NFs
+  live in different namespaces), so composed entries classify by name only.
+* :func:`naive_add_contracts` — the coarse bound: a single entry summing
+  each NF's worst-case envelope.  Cheaper, and what operators use when the
+  per-class traffic mix is unknown.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Sequence
+
+from repro.core.contract import (
+    ContractEntry,
+    Metric,
+    PerformanceContract,
+    upper_envelope,
+)
+from repro.core.input_class import InputClass
+from repro.core.pcv import PCVRegistry
+from repro.core.perfexpr import PerfExpr
+
+__all__ = ["compose_contracts", "naive_add_contracts"]
+
+
+def _merged_registry(contracts: Sequence[PerformanceContract]) -> PCVRegistry:
+    registry = PCVRegistry()
+    for contract in contracts:
+        registry = registry.merge(contract.registry)
+    return registry
+
+
+def compose_contracts(
+    name: str, contracts: Sequence[PerformanceContract]
+) -> PerformanceContract:
+    """Cross-product composition of a chain of contracts.
+
+    Every combination of one entry per NF becomes one entry of the chain
+    contract named ``"classA & classB & ..."``, with the per-metric
+    expressions summed.
+
+    Raises:
+        ValueError: no contracts, or a contract without entries, were given.
+    """
+    if not contracts:
+        raise ValueError("compose_contracts needs at least one contract")
+    for contract in contracts:
+        if not contract.entries:
+            raise ValueError(
+                f"contract for {contract.nf_name!r} has no entries to compose"
+            )
+    composed = PerformanceContract(name, registry=_merged_registry(contracts))
+    for combo in itertools.product(*(contract.entries for contract in contracts)):
+        class_name = " & ".join(entry.input_class.name for entry in combo)
+        description = "; ".join(
+            f"{contract.nf_name}={entry.input_class.name}"
+            for contract, entry in zip(contracts, combo)
+        )
+        exprs: Dict[Metric, PerfExpr] = {}
+        for entry in combo:
+            for metric, expr in entry.exprs.items():
+                exprs[metric] = exprs.get(metric, PerfExpr.zero()) + expr
+        composed.add_entry(
+            ContractEntry(
+                input_class=InputClass(class_name, description=description),
+                exprs=exprs,
+            )
+        )
+    return composed
+
+
+def naive_add_contracts(
+    name: str, contracts: Sequence[PerformanceContract]
+) -> PerformanceContract:
+    """Single worst-case entry: sum of each contract's upper envelope."""
+    if not contracts:
+        raise ValueError("naive_add_contracts needs at least one contract")
+    exprs: Dict[Metric, PerfExpr] = {}
+    for contract in contracts:
+        for metric in Metric:
+            per_entry = [
+                entry.exprs[metric]
+                for entry in contract.entries
+                if metric in entry.exprs
+            ]
+            if not per_entry:
+                continue
+            envelope = upper_envelope(per_entry)
+            exprs[metric] = exprs.get(metric, PerfExpr.zero()) + envelope
+    summed = PerformanceContract(name, registry=_merged_registry(contracts))
+    summed.add_entry(
+        ContractEntry(
+            input_class=InputClass(
+                "worst_case",
+                description="sum of per-NF worst-case envelopes",
+            ),
+            exprs=exprs,
+        )
+    )
+    return summed

@@ -1,0 +1,155 @@
+"""The BOLT Distiller (§4 of the paper).
+
+Raw contracts are exact but noisy: dozens of terms, many contributing a
+negligible share of the total.  The Distiller turns a contract into the
+human-readable form the paper's tables use by
+
+* dropping terms whose worst-case contribution falls below a relative
+  threshold of the entry's worst-case total, and
+* naming the dominant PCV of each entry — the paper's §5.3 developer
+  use-case, where a dominant ``e`` term in VigNAT's contract pointed
+  straight at the expiry-batching bug.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.core.contract import Metric, PerformanceContract
+from repro.core.perfexpr import Number, PerfExpr
+
+__all__ = ["DistilledEntry", "Distiller", "DistillerReport"]
+
+
+@dataclass(frozen=True)
+class DistilledEntry:
+    """The distilled form of one contract entry."""
+
+    class_name: str
+    original: PerfExpr
+    simplified: PerfExpr
+    dropped_share: Fraction
+    dominant_pcv: Optional[str]
+
+    def render(self) -> str:
+        parts = [f"{self.class_name}: {self.simplified.render()}"]
+        if self.dropped_share > 0:
+            parts.append(f"(+ <{float(self.dropped_share) * 100:.1f}% dropped)")
+        if self.dominant_pcv is not None:
+            parts.append(f"[dominant: {self.dominant_pcv}]")
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class DistillerReport:
+    """Distilled view of one contract for one metric."""
+
+    nf_name: str
+    metric: Metric
+    entries: Tuple[DistilledEntry, ...]
+
+    def entry_for(self, class_name: str) -> DistilledEntry:
+        for entry in self.entries:
+            if entry.class_name == class_name:
+                return entry
+        raise KeyError(f"no distilled entry for class {class_name!r}")
+
+    def render(self) -> str:
+        lines = [f"distilled contract for {self.nf_name} ({self.metric})"]
+        lines.extend(f"  {entry.render()}" for entry in self.entries)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+class Distiller:
+    """Distils a performance contract into its human-readable form."""
+
+    def __init__(self, contract: PerformanceContract) -> None:
+        self.contract = contract
+
+    def distill(
+        self,
+        metric: Metric = Metric.INSTRUCTIONS,
+        *,
+        relative_threshold: float = 0.05,
+        bounds: Optional[Mapping[str, Number]] = None,
+    ) -> DistillerReport:
+        """Produce the distilled report for one metric.
+
+        Args:
+            metric: which metric column to distil.
+            relative_threshold: a term is kept iff its worst-case
+                contribution is at least this share of the entry's
+                worst-case total.
+            bounds: per-PCV maxima used to judge worst-case contributions;
+                defaults to the registry bounds, with 1 for unbounded PCVs
+                (so unbounded terms are judged by their coefficient).
+        """
+        if not 0 <= relative_threshold < 1:
+            raise ValueError("relative_threshold must be in [0, 1)")
+        effective = self._effective_bounds(bounds)
+        entries: List[DistilledEntry] = []
+        for entry in self.contract.entries:
+            expr = entry.expr(metric)
+            simplified, dropped_share = self._simplify(
+                expr, relative_threshold, effective
+            )
+            entries.append(
+                DistilledEntry(
+                    class_name=entry.input_class.name,
+                    original=expr,
+                    simplified=simplified,
+                    dropped_share=dropped_share,
+                    dominant_pcv=expr.dominant_pcv(),
+                )
+            )
+        return DistillerReport(
+            nf_name=self.contract.nf_name, metric=metric, entries=tuple(entries)
+        )
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _effective_bounds(
+        self, bounds: Optional[Mapping[str, Number]]
+    ) -> Dict[str, Number]:
+        effective: Dict[str, Number] = {
+            name: 1 for name in self.contract.variables()
+        }
+        effective.update(self.contract.registry.default_bounds())
+        if bounds:
+            effective.update(bounds)
+        return effective
+
+    @staticmethod
+    def _simplify(
+        expr: PerfExpr,
+        relative_threshold: float,
+        bounds: Mapping[str, Number],
+    ) -> Tuple[PerfExpr, Fraction]:
+        terms = expr.terms
+        if not terms:
+            return expr, Fraction(0)
+        contributions: Dict[Tuple[str, ...], Fraction] = {}
+        for monomial, coeff in terms.items():
+            contributions[monomial] = PerfExpr({monomial: coeff}).upper_bound(bounds)
+        total = sum(contributions.values(), Fraction(0))
+        if total <= 0:
+            return expr, Fraction(0)
+        threshold = total * Fraction(relative_threshold).limit_denominator(10**6)
+        kept = {
+            monomial: coeff
+            for monomial, coeff in terms.items()
+            if contributions[monomial] >= threshold
+        }
+        if not kept:  # keep at least the largest term
+            largest = max(contributions, key=lambda m: contributions[m])
+            kept = {largest: terms[largest]}
+        dropped = sum(
+            (contributions[m] for m in terms if m not in kept), Fraction(0)
+        )
+        return PerfExpr(kept), dropped / total

@@ -1,0 +1,51 @@
+"""Human-readable rendering of performance contracts.
+
+Produces tables in the style of the paper's Table 4: one row per input
+class, one column per metric, expressions written over PCVs.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.contract import Metric, PerformanceContract
+
+__all__ = ["format_contract"]
+
+
+def format_contract(
+    contract: PerformanceContract, *, multiplication_sign: str = "·"
+) -> str:
+    """Render a contract as an aligned text table."""
+    metrics = [m for m in Metric if any(m in e.exprs for e in contract.entries)]
+    if not metrics:
+        metrics = list(Metric)
+    headers = ["input class"] + [str(metric) for metric in metrics]
+    rows: List[List[str]] = []
+    for entry in contract.entries:
+        row = [entry.input_class.name]
+        for metric in metrics:
+            row.append(entry.expr(metric).render(multiplication_sign=multiplication_sign))
+        rows.append(row)
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+
+    def line(cells: List[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths)).rstrip()
+
+    out = [f"performance contract for {contract.nf_name}"]
+    if contract.registry.names():
+        descriptions = []
+        for name in contract.registry.names():
+            pcv = contract.registry.get(name)
+            if pcv.description:
+                descriptions.append(f"  {name}: {pcv.description}")
+        if descriptions:
+            out.append("PCVs:")
+            out.extend(descriptions)
+    out.append(line(headers))
+    out.append(line(["-" * width for width in widths]))
+    out.extend(line(row) for row in rows)
+    return "\n".join(out)

@@ -1,0 +1,31 @@
+"""Network functions under analysis.
+
+Each NF module provides the stateless NFIL code, the symbolic models of its
+stateful structures, an instrumented concrete implementation of those
+structures, and a one-call contract generator.  Currently implemented:
+
+* :mod:`repro.nf.bridge` — the MAC learning bridge (paper Table 4).
+
+The paper's remaining NFs (NAT, Maglev-like load balancer, LPM router,
+firewall, static router) are tracked in ROADMAP.md.
+"""
+
+from repro.nf.bridge import (
+    BridgeSymbolicModel,
+    BridgeTable,
+    bridge_replay_env,
+    bridge_symbolic_inputs,
+    build_bridge_module,
+    classify_bridge_path,
+    generate_bridge_contract,
+)
+
+__all__ = [
+    "BridgeSymbolicModel",
+    "BridgeTable",
+    "bridge_replay_env",
+    "bridge_symbolic_inputs",
+    "build_bridge_module",
+    "classify_bridge_path",
+    "generate_bridge_contract",
+]

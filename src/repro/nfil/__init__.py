@@ -37,7 +37,14 @@ from repro.nfil.instructions import (
 )
 from repro.nfil.program import BasicBlock, ExternDecl, Function, Module, Param
 from repro.nfil.builder import FunctionBuilder
-from repro.nfil.interpreter import ExternHandler, Interpreter, Memory, StepLimitExceeded
+from repro.nfil.interpreter import (
+    ExternHandler,
+    ExternResult,
+    Interpreter,
+    InterpreterError,
+    Memory,
+    StepLimitExceeded,
+)
 from repro.nfil.tracer import ExecutionTrace, ExternCall, MemAccess
 from repro.nfil.validate import ValidationError, validate_function, validate_module
 
@@ -52,10 +59,12 @@ __all__ = [
     "ExternCall",
     "ExternDecl",
     "ExternHandler",
+    "ExternResult",
     "Function",
     "FunctionBuilder",
     "Imm",
     "Interpreter",
+    "InterpreterError",
     "Jmp",
     "Load",
     "MemAccess",

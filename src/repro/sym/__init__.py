@@ -50,18 +50,31 @@ from repro.sym.expr import (
 )
 from repro.sym.solver import CheckResult, Solver
 from repro.sym.paths import CallRecord, Path
-from repro.sym.engine import SymbolicEngine, SymbolicModel
+from repro.sym.state import SymbolicAddressError, SymbolicMemory, SymbolicState
+from repro.sym.engine import (
+    EngineError,
+    ExplorationLimit,
+    ModelOutcome,
+    SymbolicEngine,
+    SymbolicModel,
+)
 
 __all__ = [
     "BV",
     "CallRecord",
     "CheckResult",
     "Const",
+    "EngineError",
+    "ExplorationLimit",
+    "ModelOutcome",
     "Path",
     "Solver",
     "Sym",
+    "SymbolicAddressError",
     "SymbolicEngine",
+    "SymbolicMemory",
     "SymbolicModel",
+    "SymbolicState",
     "add",
     "band",
     "bnot",

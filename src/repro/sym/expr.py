@@ -249,6 +249,14 @@ class ZExt(BV):
 # --------------------------------------------------------------------------- #
 # Smart constructors
 # --------------------------------------------------------------------------- #
+def _sdiv(a: int, b: int) -> int:
+    """Signed division truncating toward zero, exact for any width."""
+    if b == 0:
+        return -1
+    quotient = abs(a) // abs(b)
+    return quotient if (a < 0) == (b < 0) else -quotient
+
+
 _COMMUTATIVE = {"add", "mul", "and", "or", "xor"}
 
 _BINOP_FUNCS = {
@@ -257,9 +265,7 @@ _BINOP_FUNCS = {
     "mul": lambda a, b, w: truncate(a * b, w),
     "udiv": lambda a, b, w: truncate(a // b, w) if b != 0 else mask(w),
     "urem": lambda a, b, w: truncate(a % b, w) if b != 0 else a,
-    "sdiv": lambda a, b, w: truncate(
-        int(to_signed(a, w) / to_signed(b, w)) if to_signed(b, w) != 0 else -1, w
-    ),
+    "sdiv": lambda a, b, w: truncate(_sdiv(to_signed(a, w), to_signed(b, w)), w),
     "and": lambda a, b, w: a & b,
     "or": lambda a, b, w: a | b,
     "xor": lambda a, b, w: a ^ b,

@@ -78,10 +78,17 @@ def _post_rules(node: BV) -> BV:
                 return ite_side.cond
             return E.bnot(ite_side.cond)
     # zext(x) compared against a constant that fits in x's width folds to a
-    # comparison at the narrower width.
-    if isinstance(node, Cmp) and isinstance(node.b, Const):
-        if isinstance(node.a, ZExt) and node.b.value <= E.mask(node.a.value.width):
-            return E.cmp(node.op, node.a.value, Const(node.b.value, node.a.value.width))
+    # comparison at the narrower width.  Sound only for equality and the
+    # unsigned predicates: signed comparisons change meaning when the
+    # constant's sign bit differs between the two widths.
+    if (
+        isinstance(node, Cmp)
+        and node.op in ("eq", "ne", "ult", "ule", "ugt", "uge")
+        and isinstance(node.b, Const)
+        and isinstance(node.a, ZExt)
+        and node.b.value <= E.mask(node.a.value.width)
+    ):
+        return E.cmp(node.op, node.a.value, Const(node.b.value, node.a.value.width))
     return node
 
 

@@ -242,7 +242,6 @@ class Solver:
             name: _Interval(0, E.mask(width)) for name, width in symbols.items()
         }
         for constraint in constraints:
-            pieces = [constraint]
             if isinstance(constraint, Cmp):
                 self._narrow(intervals, constraint)
         for interval in intervals.values():
@@ -286,13 +285,10 @@ class Solver:
         name: str,
         width: int,
         interval: _Interval,
-        constraints: Sequence[BV],
+        mentioned: Sequence[int],
     ) -> List[int]:
-        """Mine promising candidate values for one symbol."""
+        """Turn mined constants into candidate values for one symbol."""
         candidates: List[int] = []
-        mentioned: List[int] = []
-        for constraint in constraints:
-            mentioned.extend(self._constants_near_symbol(constraint, name))
         seeds = [interval.lo, interval.hi, 0, 1]
         for value in mentioned:
             seeds.extend((value, value + 1, value - 1))
@@ -315,23 +311,43 @@ class Solver:
         return candidates
 
     @staticmethod
-    def _constants_near_symbol(constraint: BV, name: str) -> List[int]:
-        """Collect constants that appear in sub-expressions mentioning ``name``."""
-        found: List[int] = []
+    def _mine_constants(constraints: Sequence[BV]) -> Dict[str, List[int]]:
+        """Collect, per symbol, the constants compared/combined with it.
 
-        def mentions(node: BV) -> bool:
-            return name in free_symbols(node)
+        One pass over all constraints with per-node symbol-set memoisation,
+        so mining stays linear in the constraint size instead of quadratic
+        per symbol.
+        """
+        found: Dict[str, List[int]] = {}
+        memo: Dict[int, frozenset] = {}
 
-        stack = [constraint]
-        while stack:
-            node = stack.pop()
-            if isinstance(node, (Cmp, BinOp)):
-                a, b = node.a, node.b
-                if isinstance(b, Const) and mentions(a):
-                    found.append(b.value)
-                if isinstance(a, Const) and mentions(b):
-                    found.append(a.value)
-            stack.extend(node.children())
+        def names(node: BV) -> frozenset:
+            key = id(node)
+            cached = memo.get(key)
+            if cached is not None:
+                return cached
+            if isinstance(node, Sym):
+                result = frozenset((node.name,))
+            else:
+                result = frozenset()
+                for child in node.children():
+                    result |= names(child)
+            memo[key] = result
+            return result
+
+        for constraint in constraints:
+            stack = [constraint]
+            while stack:
+                node = stack.pop()
+                if isinstance(node, (Cmp, BinOp)):
+                    a, b = node.a, node.b
+                    if isinstance(b, Const):
+                        for symbol in names(a):
+                            found.setdefault(symbol, []).append(b.value)
+                    if isinstance(a, Const):
+                        for symbol in names(b):
+                            found.setdefault(symbol, []).append(a.value)
+                stack.extend(node.children())
         return found
 
     def _verify(
@@ -347,25 +363,63 @@ class Solver:
         assignment: Dict[str, int],
         original: Sequence[BV],
     ) -> Optional[Dict[str, int]]:
-        """Bounded DFS over mined candidate values with pruning."""
+        """Bounded DFS over mined candidate values with pruning.
+
+        Two refinements make the search effective on the equality-heavy
+        path conditions BOLT produces: symbols with narrow intervals are
+        assigned first, and after every assignment the newly exposed
+        ``sym == const`` units are propagated, so derived symbols (e.g.
+        ``y == x + 1``) never need to be guessed at all.
+        """
         names = sorted(symbols)
+        mined = self._mine_constants(constraints)
         candidates = {
-            name: self._candidate_values(name, symbols[name], intervals[name], constraints)
+            name: self._candidate_values(
+                name, symbols[name], intervals[name], mined.get(name, ())
+            )
             for name in names
         }
-        names.sort(key=lambda name: len(candidates[name]))
+        names.sort(
+            key=lambda name: (intervals[name].hi - intervals[name].lo, len(candidates[name]))
+        )
         budget = [self.max_search_nodes]
 
-        def recurse(index: int, remaining: List[BV], partial: Dict[str, int]) -> Optional[Dict[str, int]]:
+        def propagate(
+            remaining: List[BV], partial: Dict[str, int]
+        ) -> Optional[List[BV]]:
+            """Apply exposed sym == const units; None on contradiction."""
+            while True:
+                units: Dict[str, int] = {}
+                for constraint in remaining:
+                    if isinstance(constraint, Cmp) and constraint.op == "eq":
+                        sym, value = self._as_sym_const(constraint)
+                        if sym is not None and sym.name not in partial and sym.name not in units:
+                            units[sym.name] = value
+                if not units:
+                    return remaining
+                partial.update(units)
+                flat = self._flatten(
+                    [substitute(constraint, units) for constraint in remaining]
+                )
+                if flat is None:
+                    return None
+                remaining = flat
+
+        def recurse(remaining: List[BV], partial: Dict[str, int]) -> Optional[Dict[str, int]]:
             if budget[0] <= 0:
                 return None
-            if index == len(names):
+            partial = dict(partial)
+            propagated = propagate(remaining, partial)
+            if propagated is None:
+                return None
+            remaining = propagated
+            name = next((n for n in names if n not in partial), None)
+            if name is None:
                 model = dict(assignment)
                 model.update(partial)
                 if self._verify(original, model):
                     return model
                 return None
-            name = names[index]
             for value in candidates[name]:
                 budget[0] -= 1
                 self.stats.search_nodes += 1
@@ -375,14 +429,14 @@ class Solver:
                 flat = self._flatten(substituted)
                 if flat is None:
                     continue
-                partial[name] = value
-                found = recurse(index + 1, flat, partial)
+                next_partial = dict(partial)
+                next_partial[name] = value
+                found = recurse(flat, next_partial)
                 if found is not None:
                     return found
-                del partial[name]
             return None
 
-        return recurse(0, constraints, {})
+        return recurse(constraints, {})
 
     def _random_phase(
         self,

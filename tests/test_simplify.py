@@ -1,0 +1,61 @@
+"""Tests for whole-tree simplification and substitution (repro.sym.simplify)."""
+
+from repro.sym import expr as E
+from repro.sym.expr import Const, Sym
+from repro.sym.simplify import simplify, substitute
+
+
+def test_substitute_integers_folds():
+    x, y = Sym("x", 32), Sym("y", 32)
+    e = E.add(E.mul(x, Const(3, 32)), y)
+    assert substitute(e, {"x": 4, "y": 10}) == Const(22, 32)
+
+
+def test_substitute_partial_keeps_symbolic_rest():
+    x, y = Sym("x", 32), Sym("y", 32)
+    e = E.add(x, y)
+    partial = substitute(e, {"x": 1})
+    assert partial == E.add(y, Const(1, 32))
+
+
+def test_substitute_expression_binding():
+    x, y = Sym("x", 8), Sym("y", 8)
+    e = E.mul(x, Const(2, 8))
+    assert substitute(e, {"x": E.add(y, Const(1, 8))}) == E.mul(
+        E.add(y, Const(1, 8)), Const(2, 8)
+    )
+
+
+def test_ite_comparison_collapse():
+    c = Sym("c", 1)
+    picked = E.ite(c, Const(1, 8), Const(0, 8))
+    # (c ? 1 : 0) == 1 collapses to c; != 1 collapses to !c.
+    assert simplify(E.eq(picked, Const(1, 8))) == c
+    assert simplify(E.ne(picked, Const(1, 8))) == E.bnot(c)
+    # comparing against a value neither branch produces folds to a constant
+    assert simplify(E.eq(picked, Const(7, 8))) == Const(0, 1)
+
+
+def test_zext_comparison_narrows():
+    x = Sym("x", 8)
+    wide = E.zext(x, 64)
+    narrowed = simplify(E.cmp("eq", wide, Const(5, 64)))
+    assert narrowed == E.eq(x, Const(5, 8))
+
+
+def test_zext_narrowing_skips_signed_comparisons():
+    # slt(zext(x:8 -> 64), 200) must NOT narrow to slt(x, 200@8): at 8 bits
+    # the constant 200 is negative, flipping the verdict for e.g. x = 100.
+    x = Sym("x", 8)
+    wide = E.zext(x, 64)
+    cmp = E.cmp("slt", wide, Const(200, 64))
+    simplified = simplify(cmp)
+    for value in (0, 100, 127, 128, 200, 255):
+        assert E.evaluate(simplified, {"x": value}) == E.evaluate(cmp, {"x": value})
+
+
+def test_simplify_bottom_up_folds_constants():
+    x = Sym("x", 16)
+    # (x * 0) + 3 == 3  is a tautology after simplification
+    e = E.eq(E.add(E.mul(x, Const(0, 16)), Const(3, 16)), Const(3, 16))
+    assert simplify(e) == Const(1, 1)
