@@ -13,13 +13,17 @@ NSDI 2019 together with the substrates it depends on:
   repository are written (register machine with branches, loads/stores and
   calls), plus a concrete interpreter that doubles as the instruction tracer
   (the role Intel Pin plays in the paper).
-* :mod:`repro.nf` — the network functions under analysis; currently the
-  MAC learning bridge, complete with an instrumented concrete MAC table and
-  its symbolic model.
+* :mod:`repro.structures` — the Vigor-style stateful data-structure
+  library (chaining hash map, time-wheel expiring map, LPM trie); each
+  structure ships an instrumented concrete implementation, a symbolic
+  model, and a hand-derived per-operation contract cross-validated by Bolt.
+* :mod:`repro.nf` — the network functions under analysis: the MAC learning
+  bridge and a static LPM IPv4 router, both assembled from the structure
+  library.
 
-Follow-on layers tracked in ROADMAP.md (hardware models, the stateful
-structure library, traffic generation/replay, packet/protocol helpers,
-analysis tooling) will register here as they land.
+Follow-on layers tracked in ROADMAP.md (hardware models, traffic
+generation/replay, packet/protocol helpers, analysis tooling) will
+register here as they land.
 """
 
 from repro.core.contract import ContractEntry, Metric, PerformanceContract
@@ -42,4 +46,4 @@ __all__ = [
     "PerformanceContract",
 ]
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"

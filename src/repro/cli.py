@@ -1,0 +1,112 @@
+"""Contract-validation smoke runner (``python -m repro.cli``).
+
+Runs the full pipeline for everything shipped in the repository and prints
+the artefacts a human (or a CI log reader) needs to spot a regression in
+generated bounds:
+
+1. every library structure's hand-derived per-operation contract,
+   cross-validated against Bolt via
+   :func:`repro.structures.validation.validate_structure_contract`;
+2. the generated contracts of both NFs (bridge and LPM router), with every
+   symbolic path's feasibility.
+
+Output is printed section by section as it is produced, so even a crash
+mid-run leaves the already-validated tables in the job log.  Exits
+non-zero when a structure's hand contract disagrees with Bolt or an NF
+contract loses an expected input class, so CI fails loudly instead of
+shipping silently-changed bounds.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import repro.structures as structures_pkg
+from repro.nf.bridge import generate_bridge_contract
+from repro.nf.router import generate_router_contract
+from repro.structures import (
+    ChainingHashMap,
+    ExpiringMap,
+    LpmTrie,
+    Structure,
+    StructureContractError,
+    validate_structure_contract,
+)
+
+#: Input classes each NF contract must keep covering.
+EXPECTED_BRIDGE_CLASSES = {"short", "miss", "hairpin", "hit"}
+EXPECTED_ROUTER_CLASSES = {"short", "non_ip", "ttl_expired", "no_route", "routed"}
+
+
+def _section(title: str) -> None:
+    print(f"\n{'=' * 72}\n{title}\n{'=' * 72}")
+
+
+def run_structure_validation() -> int:
+    """Validate every library structure's contract against Bolt."""
+    failures = 0
+    structures = [
+        ChainingHashMap("flow_map", capacity=64, value_bound=64),
+        ExpiringMap("mac_table", capacity=64, timeout=300, value_bound=64),
+        LpmTrie("fib", value_bound=64),
+    ]
+    # Guard against a structure being added to the library but forgotten
+    # here: every exported Structure subclass must be smoke-validated.
+    exported = {
+        cls
+        for name in structures_pkg.__all__
+        if isinstance(cls := getattr(structures_pkg, name), type)
+        and issubclass(cls, Structure)
+        and cls is not Structure
+    }
+    covered = {type(structure) for structure in structures}
+    if exported - covered:
+        missing = sorted(cls.__name__ for cls in exported - covered)
+        print(f"FAIL: structures not covered by the smoke run: {missing}")
+        failures += 1
+    for structure in structures:
+        _section(f"structure {structure.name} ({structure.kind})")
+        print(structure.operation_contract().render())
+        try:
+            checks = validate_structure_contract(structure)
+        except StructureContractError as error:
+            failures += 1
+            print(f"FAIL: {error}")
+            continue
+        for check in checks:
+            overhead = ", ".join(
+                f"{metric}+{int(constant)}" for metric, constant in check.driver_overhead.items()
+            )
+            print(f"  {check.method}: Bolt agrees (driver overhead {overhead})")
+    return failures
+
+
+def run_nf_contracts() -> int:
+    """Generate and render both NF contracts; check their input classes."""
+    failures = 0
+    for title, generate, expected in (
+        ("NF: MAC learning bridge", generate_bridge_contract, EXPECTED_BRIDGE_CLASSES),
+        ("NF: static LPM router", generate_router_contract, EXPECTED_ROUTER_CLASSES),
+    ):
+        _section(title)
+        contract = generate()
+        print(contract.render())
+        feasibility = {path.feasibility for entry in contract for path in entry.paths}
+        print(f"path feasibility: {sorted(feasibility)}")
+        missing = expected - set(contract.class_names())
+        if missing:
+            failures += 1
+            print(f"FAIL: contract lost input classes {sorted(missing)}")
+    return failures
+
+
+def main() -> int:
+    failures = run_structure_validation()
+    failures += run_nf_contracts()
+    print()
+    print("SMOKE FAILED" if failures else "SMOKE OK")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,8 +20,8 @@ BOLT derives a performance contract for an NF in three steps:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.contract import (
     ContractEntry,
@@ -173,9 +173,7 @@ class Bolt:
         for name in sorted(groups):
             group = groups[name]
             exprs = {
-                metric: upper_envelope(
-                    self.path_cost(path, metric) for path in group
-                )
+                metric: upper_envelope(self.path_cost(path, metric) for path in group)
                 for metric in self.config.metrics
             }
             contract.add_entry(

@@ -15,7 +15,7 @@ is derived from the per-NF contracts.  Two compositions are provided:
 from __future__ import annotations
 
 import itertools
-from typing import Dict, List, Sequence
+from typing import Dict, Sequence
 
 from repro.core.contract import (
     ContractEntry,
@@ -53,9 +53,7 @@ def compose_contracts(
         raise ValueError("compose_contracts needs at least one contract")
     for contract in contracts:
         if not contract.entries:
-            raise ValueError(
-                f"contract for {contract.nf_name!r} has no entries to compose"
-            )
+            raise ValueError(f"contract for {contract.nf_name!r} has no entries to compose")
     composed = PerformanceContract(name, registry=_merged_registry(contracts))
     for combo in itertools.product(*(contract.entries for contract in contracts)):
         class_name = " & ".join(entry.input_class.name for entry in combo)
@@ -85,11 +83,7 @@ def naive_add_contracts(
     exprs: Dict[Metric, PerfExpr] = {}
     for contract in contracts:
         for metric in Metric:
-            per_entry = [
-                entry.exprs[metric]
-                for entry in contract.entries
-                if metric in entry.exprs
-            ]
+            per_entry = [entry.exprs[metric] for entry in contract.entries if metric in entry.exprs]
             if not per_entry:
                 continue
             envelope = upper_envelope(per_entry)

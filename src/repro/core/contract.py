@@ -13,7 +13,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
 
 from repro.core.input_class import InputClass
 from repro.core.pcv import PCVRegistry
@@ -137,9 +137,7 @@ class PerformanceContract:
     def add_entry(self, entry: ContractEntry) -> ContractEntry:
         """Append an entry; entry names must be unique."""
         if any(e.input_class.name == entry.input_class.name for e in self.entries):
-            raise ValueError(
-                f"duplicate contract entry for class {entry.input_class.name!r}"
-            )
+            raise ValueError(f"duplicate contract entry for class {entry.input_class.name!r}")
         self.entries.append(entry)
         return entry
 

@@ -95,9 +95,7 @@ class Distiller:
         entries: List[DistilledEntry] = []
         for entry in self.contract.entries:
             expr = entry.expr(metric)
-            simplified, dropped_share = self._simplify(
-                expr, relative_threshold, effective
-            )
+            simplified, dropped_share = self._simplify(expr, relative_threshold, effective)
             entries.append(
                 DistilledEntry(
                     class_name=entry.input_class.name,
@@ -107,9 +105,7 @@ class Distiller:
                     dominant_pcv=expr.dominant_pcv(),
                 )
             )
-        return DistillerReport(
-            nf_name=self.contract.nf_name, metric=metric, entries=tuple(entries)
-        )
+        return DistillerReport(nf_name=self.contract.nf_name, metric=metric, entries=tuple(entries))
 
     # ------------------------------------------------------------------ #
     # Internals
@@ -117,9 +113,7 @@ class Distiller:
     def _effective_bounds(
         self, bounds: Optional[Mapping[str, Number]]
     ) -> Dict[str, Number]:
-        effective: Dict[str, Number] = {
-            name: 1 for name in self.contract.variables()
-        }
+        effective: Dict[str, Number] = {name: 1 for name in self.contract.variables()}
         effective.update(self.contract.registry.default_bounds())
         if bounds:
             effective.update(bounds)
@@ -149,7 +143,5 @@ class Distiller:
         if not kept:  # keep at least the largest term
             largest = max(contributions, key=lambda m: contributions[m])
             kept = {largest: terms[largest]}
-        dropped = sum(
-            (contributions[m] for m in terms if m not in kept), Fraction(0)
-        )
+        dropped = sum((contributions[m] for m in terms if m not in kept), Fraction(0))
         return PerfExpr(kept), dropped / total

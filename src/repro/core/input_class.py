@@ -38,9 +38,7 @@ class InputClass:
         if not self.name:
             raise ValueError("input class name must not be empty")
         if self.predicate is not None and self.predicate.width != 1:
-            raise ValueError(
-                f"input class {self.name!r}: predicate must have width 1"
-            )
+            raise ValueError(f"input class {self.name!r}: predicate must have width 1")
 
     def matches(self, env: Mapping[str, int]) -> bool:
         """Return True when the concrete assignment belongs to this class.

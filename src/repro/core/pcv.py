@@ -13,7 +13,7 @@ traversals) and ``o`` (hash-table occupancy).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, Mapping, Optional
 
 
@@ -93,9 +93,7 @@ class PCVRegistry:
             return pcv
         if not pcv.description:
             return existing
-        raise ValueError(
-            f"conflicting definitions for PCV {pcv.name!r}: {existing} vs {pcv}"
-        )
+        raise ValueError(f"conflicting definitions for PCV {pcv.name!r}: {existing} vs {pcv}")
 
     def get(self, name: str) -> PCV:
         """Return the PCV registered under ``name``."""

@@ -1,31 +1,48 @@
 """Network functions under analysis.
 
-Each NF module provides the stateless NFIL code, the symbolic models of its
-stateful structures, an instrumented concrete implementation of those
-structures, and a one-call contract generator.  Currently implemented:
+Each NF module provides the stateless NFIL code, a factory for the
+:mod:`repro.structures` instances backing its state, and a one-call
+contract generator.  Currently implemented:
 
-* :mod:`repro.nf.bridge` — the MAC learning bridge (paper Table 4).
+* :mod:`repro.nf.bridge` — the MAC learning bridge (paper Table 4), backed
+  by an :class:`~repro.structures.ExpiringMap`.
+* :mod:`repro.nf.router` — a static LPM IPv4 router, backed by an
+  :class:`~repro.structures.LpmTrie`.
 
-The paper's remaining NFs (NAT, Maglev-like load balancer, LPM router,
-firewall, static router) are tracked in ROADMAP.md.
+The paper's remaining NFs (NAT, Maglev-like load balancer, firewall) are
+tracked in ROADMAP.md.
 """
 
 from repro.nf.bridge import (
-    BridgeSymbolicModel,
-    BridgeTable,
     bridge_replay_env,
     bridge_symbolic_inputs,
     build_bridge_module,
     classify_bridge_path,
     generate_bridge_contract,
+    make_bridge_table,
+)
+from repro.nf.router import (
+    build_router_module,
+    classify_router_path,
+    generate_router_contract,
+    ipv4_packet,
+    make_routing_table,
+    router_replay_env,
+    router_symbolic_inputs,
 )
 
 __all__ = [
-    "BridgeSymbolicModel",
-    "BridgeTable",
     "bridge_replay_env",
     "bridge_symbolic_inputs",
     "build_bridge_module",
+    "build_router_module",
     "classify_bridge_path",
+    "classify_router_path",
     "generate_bridge_contract",
+    "generate_router_contract",
+    "ipv4_packet",
+    "make_bridge_table",
+    "make_routing_table",
+    "router_replay_env",
+    "router_symbolic_inputs",
 ]

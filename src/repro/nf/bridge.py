@@ -1,24 +1,17 @@
 """The MAC learning bridge (the paper's first evaluated NF, Table 4).
 
-This module is the end-to-end proof of the BOLT pipeline.  It provides all
-four artefacts the paper's toolchain needs for one NF:
+This module is the end-to-end proof of the BOLT pipeline.  The stateless
+bridge code is written in NFIL — parse the Ethernet MACs, learn the source,
+look up the destination, and forward / flood / drop — with all state behind
+the three methods of one :class:`repro.structures.ExpiringMap` instance
+(``bridge_map_expire`` / ``bridge_map_put`` / ``bridge_map_get``), the
+Vigor-style split the paper relies on.
 
-* :func:`build_bridge_module` — the *stateless* bridge code, written in
-  NFIL: parse the Ethernet MACs, learn the source, look up the destination,
-  and forward / flood / drop.  All state lives behind three externs
-  (``bridge_expire``, ``bridge_map_put``, ``bridge_map_get``), the
-  Vigor-style split the paper relies on.
-* :class:`BridgeSymbolicModel` — the symbolic model of the MAC table used
-  during contract generation: extern outputs become fresh symbols and every
-  call charges a PCV-parameterised cost (``e`` expired entries, ``t`` slots
-  probed per table operation).
-* :class:`BridgeTable` — the instrumented *concrete* MAC table (linear
-  probing, lazy expiry) used during measurement; it charges exactly the
-  cost formulas the symbolic model promises, with the PCV values it
-  actually observed.
-* :func:`generate_bridge_contract` / :func:`bridge_replay_env` — one-call
-  contract generation, and the glue for matching a concrete execution back
-  to its symbolic path.
+The stateful side comes entirely from :mod:`repro.structures`: the
+expiring map supplies the instrumented concrete MAC table
+(:func:`make_bridge_table`), the symbolic model
+(:class:`~repro.structures.StructureModel`) and the PCV registry, so this
+module contains *no* bespoke table implementation.
 
 Input classes of the generated contract:
 
@@ -32,28 +25,25 @@ Input classes of the generated contract:
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.bolt import Bolt, BoltConfig
-from repro.core.contract import Metric, PerformanceContract
+from repro.core.contract import PerformanceContract
 from repro.core.input_class import InputClass
-from repro.core.pcv import PCV, PCVRegistry
-from repro.core.perfexpr import PerfExpr
+from repro.core.pcv import PCVRegistry
 from repro.nfil.builder import FunctionBuilder
-from repro.nfil.interpreter import ExternResult, ExternHandler, Memory
-from repro.nfil.program import ExternDecl, Module
+from repro.nfil.program import Module
+from repro.nf.replay import replay_env
 from repro.nfil.tracer import ExecutionTrace
 from repro.nfil.validate import validate_module
+from repro.structures import NOT_FOUND, ExpiringMap, StructureModel
 from repro.sym import expr as E
-from repro.sym.engine import ModelOutcome, SymbolicModel
 from repro.sym.expr import BV, Const, Sym
 from repro.sym.paths import Path
-from repro.sym.state import SymbolicMemory, SymbolicState
+from repro.sym.state import SymbolicMemory
 
 __all__ = [
     "BRIDGE_FUNCTION",
-    "BridgeSymbolicModel",
-    "BridgeTable",
     "DROP",
     "FLOOD",
     "MAX_PORTS",
@@ -65,6 +55,7 @@ __all__ = [
     "build_bridge_module",
     "classify_bridge_path",
     "generate_bridge_contract",
+    "make_bridge_table",
 ]
 
 #: Entry function of the bridge.
@@ -77,20 +68,26 @@ PKT_SYM_BYTES = 16
 #: Minimum parseable frame: two MACs + EtherType.
 MIN_FRAME = 14
 
-#: Sentinel returned by ``bridge_map_get`` for unknown MACs.
-NOT_FOUND = (1 << 64) - 1
 #: Return values of the bridge: flood to all ports / drop the frame.
 FLOOD = 0xFFFF
 DROP = 0xFFFE
 #: Valid switch ports are [0, MAX_PORTS).
 MAX_PORTS = 64
 
-# Per-call cost formulas of the MAC table, shared verbatim by the symbolic
-# model (which promises them) and the concrete table (which charges them).
-# (base_instructions, per_pcv_instructions, base_mem, per_pcv_mem)
-_EXPIRE_COST = (4, 7, 2, 3)  # PCV: e
-_GET_COST = (5, 6, 1, 2)  # PCV: t
-_PUT_COST = (8, 6, 2, 2)  # PCV: t
+
+def make_bridge_table(capacity: int = 64, timeout: int = 300) -> ExpiringMap:
+    """Build the bridge's MAC table: an expiring map storing ports."""
+    return ExpiringMap(
+        "bridge_map",
+        capacity=capacity,
+        timeout=timeout,
+        value_bound=MAX_PORTS,
+    )
+
+
+def bridge_registry(capacity: int = 64, timeout: int = 300) -> PCVRegistry:
+    """PCVs of the bridge contract (from the MAC table's structure contract)."""
+    return make_bridge_table(capacity, timeout).registry()
 
 
 # --------------------------------------------------------------------------- #
@@ -99,18 +96,11 @@ _PUT_COST = (8, 6, 2, 2)  # PCV: t
 def build_bridge_module() -> Module:
     """Build (and validate) the bridge NFIL module."""
     module = Module("bridge")
-    module.declare_extern(
-        "bridge_expire", 1, returns_value=False, structure="bridge_map", method="expire"
-    )
-    module.declare_extern(
-        "bridge_map_put", 2, returns_value=False, structure="bridge_map", method="put"
-    )
-    module.declare_extern(
-        "bridge_map_get", 1, returns_value=True, structure="bridge_map", method="get"
-    )
+    table = make_bridge_table()
+    table.declare(module)
 
     b = FunctionBuilder(BRIDGE_FUNCTION, params=("pkt", "len", "in_port", "time"))
-    b.call("bridge_expire", b.param("time"), void=True)
+    b.call(table.extern_name("expire"), b.param("time"), void=True)
     short = b.ult(b.param("len"), MIN_FRAME)
     b.br(short, "drop_short", "lookup")
 
@@ -126,8 +116,8 @@ def build_bridge_module() -> Module:
     s_lo = b.load(b.add(pkt, 6), size=4)
     s_hi = b.load(b.add(pkt, 10), size=2)
     smac = b.or_(s_lo, b.shl(s_hi, 32), name="smac")
-    b.call("bridge_map_put", smac, b.param("in_port"), void=True)
-    out = b.call("bridge_map_get", dmac, name="out")
+    b.call(table.extern_name("put"), smac, b.param("in_port"), void=True)
+    out = b.call(table.extern_name("get"), dmac, name="out")
     known = b.ne(out, NOT_FOUND)
     b.br(known, "unicast", "flood")
 
@@ -146,166 +136,6 @@ def build_bridge_module() -> Module:
 
     module.add_function(b.build())
     return validate_module(module)
-
-
-# --------------------------------------------------------------------------- #
-# PCVs and the symbolic model
-# --------------------------------------------------------------------------- #
-def bridge_registry(capacity: int) -> PCVRegistry:
-    """PCVs of the bridge contract, bounded by the MAC-table capacity."""
-    return PCVRegistry(
-        [
-            PCV(
-                "e",
-                "MAC entries expired while processing this packet",
-                structure="bridge_map",
-                max_value=capacity,
-                unit="entries",
-            ),
-            PCV(
-                "t",
-                "slots probed in one MAC-table operation",
-                structure="bridge_map",
-                max_value=capacity,
-                unit="slots",
-            ),
-        ]
-    )
-
-
-def _linear_cost(base_instr: int, per_instr: int, base_mem: int, per_mem: int, pcv: str):
-    return {
-        Metric.INSTRUCTIONS: PerfExpr.from_terms(**{pcv: per_instr, "const": base_instr}),
-        Metric.MEMORY_ACCESSES: PerfExpr.from_terms(**{pcv: per_mem, "const": base_mem}),
-    }
-
-
-class BridgeSymbolicModel(SymbolicModel):
-    """Symbolic model of the bridge's MAC table.
-
-    ``bridge_map_get`` havocs its output (constrained to be either the
-    NOT_FOUND sentinel or a valid port) and charges ``t``-parameterised
-    cost; the void externs only charge cost.  The promised cost formulas
-    are byte-for-byte the ones :class:`BridgeTable` charges concretely.
-    """
-
-    def apply(
-        self,
-        decl: ExternDecl,
-        args: Tuple[BV, ...],
-        state: SymbolicState,
-        index: int,
-    ) -> ModelOutcome:
-        if decl.name == "bridge_expire":
-            return ModelOutcome(
-                cost=_linear_cost(*_EXPIRE_COST, "e"), pcvs=("e",)
-            )
-        if decl.name == "bridge_map_put":
-            return ModelOutcome(cost=_linear_cost(*_PUT_COST, "t"), pcvs=("t",))
-        if decl.name == "bridge_map_get":
-            result = self.fresh(decl, index)
-            valid = E.bool_or(
-                E.eq(result, Const(NOT_FOUND, 64)),
-                E.ult(result, Const(MAX_PORTS, 64)),
-            )
-            return ModelOutcome(
-                value=result,
-                constraints=(valid,),
-                cost=_linear_cost(*_GET_COST, "t"),
-                pcvs=("t",),
-            )
-        return super().apply(decl, args, state, index)
-
-
-# --------------------------------------------------------------------------- #
-# Instrumented concrete MAC table
-# --------------------------------------------------------------------------- #
-class BridgeTable(ExternHandler):
-    """Concrete MAC table: linear probing, expiry scan, instrumented cost.
-
-    Every handler reports the exact cost formula the symbolic model
-    promised, instantiated with the PCV values the call actually incurred —
-    that is what the contract cross-check in the test suite leans on.
-    """
-
-    def __init__(self, capacity: int = 64, timeout: int = 300) -> None:
-        super().__init__()
-        if capacity <= 0:
-            raise ValueError("capacity must be positive")
-        self.capacity = capacity
-        self.timeout = timeout
-        self.now = 0
-        # slot: None | (mac, port, last_seen)
-        self.slots: List[Optional[Tuple[int, int, int]]] = [None] * capacity
-        self.register("bridge_expire", self._expire)
-        self.register("bridge_map_put", self._put)
-        self.register("bridge_map_get", self._get)
-
-    # -- helpers -------------------------------------------------------- #
-    def _hash(self, mac: int) -> int:
-        return ((mac * 2654435761) ^ (mac >> 24)) % self.capacity
-
-    def occupancy(self) -> int:
-        """Number of live entries (for tests and diagnostics)."""
-        return sum(1 for slot in self.slots if slot is not None)
-
-    # -- extern handlers ------------------------------------------------ #
-    def _expire(self, args: Tuple[int, ...], memory: Memory) -> ExternResult:
-        (now,) = args
-        self.now = now
-        expired = 0
-        for i, slot in enumerate(self.slots):
-            if slot is not None and now - slot[2] > self.timeout:
-                self.slots[i] = None
-                expired += 1
-        base_i, per_i, base_m, per_m = _EXPIRE_COST
-        return ExternResult(
-            None,
-            instructions=base_i + per_i * expired,
-            memory_accesses=base_m + per_m * expired,
-            pcvs={"e": expired},
-        )
-
-    def _get(self, args: Tuple[int, ...], memory: Memory) -> ExternResult:
-        (mac,) = args
-        start = self._hash(mac)
-        probes = 0
-        result = NOT_FOUND
-        for k in range(self.capacity):
-            probes += 1
-            slot = self.slots[(start + k) % self.capacity]
-            if slot is None:
-                break
-            if slot[0] == mac:
-                result = slot[1]
-                break
-        base_i, per_i, base_m, per_m = _GET_COST
-        return ExternResult(
-            result,
-            instructions=base_i + per_i * probes,
-            memory_accesses=base_m + per_m * probes,
-            pcvs={"t": probes},
-        )
-
-    def _put(self, args: Tuple[int, ...], memory: Memory) -> ExternResult:
-        mac, port = args
-        start = self._hash(mac)
-        probes = 0
-        for k in range(self.capacity):
-            probes += 1
-            index = (start + k) % self.capacity
-            slot = self.slots[index]
-            if slot is None or slot[0] == mac:
-                self.slots[index] = (mac, port, self.now)
-                break
-        # A full table with no matching entry drops the learning update.
-        base_i, per_i, base_m, per_m = _PUT_COST
-        return ExternResult(
-            None,
-            instructions=base_i + per_i * probes,
-            memory_accesses=base_m + per_m * probes,
-            pcvs={"t": probes},
-        )
 
 
 # --------------------------------------------------------------------------- #
@@ -354,7 +184,10 @@ def classify_bridge_path(path: Path) -> InputClass:
 
 
 def generate_bridge_contract(
-    capacity: int = 64, *, config: Optional[BoltConfig] = None
+    capacity: int = 64,
+    timeout: int = 300,
+    *,
+    config: Optional[BoltConfig] = None,
 ) -> PerformanceContract:
     """Run BOLT end-to-end on the bridge and return its contract."""
     module = build_bridge_module()
@@ -362,11 +195,12 @@ def generate_bridge_contract(
         config = BoltConfig(classifier=classify_bridge_path)
     elif config.classifier is None:
         config.classifier = classify_bridge_path
+    table = make_bridge_table(capacity, timeout)
     bolt = Bolt(
         module,
         BRIDGE_FUNCTION,
-        model=BridgeSymbolicModel(),
-        registry=bridge_registry(capacity),
+        model=StructureModel(table),
+        registry=table.registry(),
         config=config,
     )
     args, memory, constraints = bridge_symbolic_inputs()
@@ -387,13 +221,4 @@ def bridge_replay_env(
     output naming), so the execution can be matched to the symbolic path —
     and hence contract entry — it followed.
     """
-    env: Dict[str, int] = {
-        f"pkt[{i}]": byte for i, byte in enumerate(packet[:PKT_SYM_BYTES])
-    }
-    env["len"] = length
-    env["in_port"] = in_port
-    env["time"] = time
-    for call in trace.extern_calls:
-        if call.result is not None:
-            env[f"{call.name}#{call.index}"] = call.result
-    return env
+    return replay_env(packet, PKT_SYM_BYTES, trace, len=length, in_port=in_port, time=time)

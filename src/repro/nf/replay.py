@@ -1,0 +1,42 @@
+"""Shared glue for matching concrete executions back to symbolic paths.
+
+Every NF replays the same way: the packet bytes map onto the ``pkt[i]``
+byte symbols of the symbolic initial state, the scalar inputs map onto
+their parameter symbols, and each value-returning extern call maps onto
+the model-output symbol ``"{extern}#{index}"`` (the symbolic engine and
+the concrete tracer number extern calls identically).  NFs wrap this in a
+thin, NF-specific function naming their scalars.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.nfil.tracer import ExecutionTrace
+
+__all__ = ["replay_env"]
+
+
+def replay_env(
+    packet: bytes,
+    sym_bytes: int,
+    trace: ExecutionTrace,
+    **scalars: int,
+) -> Dict[str, int]:
+    """Build the symbol assignment a concrete execution corresponds to.
+
+    Args:
+        packet: the concrete packet buffer (only the first ``sym_bytes``
+            bytes were symbolic during analysis).
+        sym_bytes: how many leading packet bytes the NF made symbolic.
+        trace: the execution's trace; extern results become the
+            ``"{extern}#{index}"`` model-output bindings.
+        **scalars: concrete values of the NF's scalar inputs, keyed by
+            their symbol names (e.g. ``len=60, in_port=3``).
+    """
+    env: Dict[str, int] = {f"pkt[{i}]": byte for i, byte in enumerate(packet[:sym_bytes])}
+    env.update(scalars)
+    for call in trace.extern_calls:
+        if call.result is not None:
+            env[f"{call.name}#{call.index}"] = call.result
+    return env

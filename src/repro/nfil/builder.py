@@ -15,7 +15,7 @@ validates the finished function.  The bridge NF reads like pseudo-code::
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple, Union
+from typing import Dict, Optional, Sequence, Union
 
 from repro.nfil.instructions import (
     ACCESS_SIZES,
@@ -24,7 +24,6 @@ from repro.nfil.instructions import (
     Call,
     Cmp,
     ConstInstr,
-    Imm,
     Instruction,
     Jmp,
     Load,
@@ -57,9 +56,7 @@ class FunctionBuilder:
         *,
         entry: str = "entry",
     ) -> None:
-        self._function = Function(
-            name=name, params=[Param(p) for p in params], entry=entry
-        )
+        self._function = Function(name=name, params=[Param(p) for p in params], entry=entry)
         self._current: Optional[BasicBlock] = None
         self._temp_counter = 0
         self._label_counters: Dict[str, int] = {}

@@ -11,7 +11,7 @@ instruction count, memory access count).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence, Tuple, Union
+from typing import Optional, Tuple, Union
 
 WORD_BITS = 64
 WORD_MASK = (1 << WORD_BITS) - 1

@@ -166,6 +166,20 @@ class ExternHandler:
         """Return True when a handler for ``name`` is registered."""
         return name in self._handlers
 
+    def merge(self, other: "ExternHandler") -> "ExternHandler":
+        """Adopt every registration of ``other``; returns self.
+
+        Lets an NF that composes several stateful structures (each of which
+        is its own handler) present one dispatch table to the interpreter.
+        Name collisions raise, since silently shadowing a structure's
+        handler would corrupt the cost accounting.
+        """
+        for name, fn in other._handlers.items():
+            if name in self._handlers:
+                raise ValueError(f"extern {name!r} already has a handler")
+            self._handlers[name] = fn
+        return self
+
     def handle(self, name: str, args: Tuple[int, ...], memory: Memory) -> ExternResult:
         """Serve one extern call; coerce shorthand returns to ExternResult."""
         try:
@@ -238,9 +252,7 @@ class Interpreter:
             frame = frames[-1]
             block = frame.function.blocks.get(frame.block)
             if block is None:
-                raise InterpreterError(
-                    f"{frame.function.name}: unknown block {frame.block!r}"
-                )
+                raise InterpreterError(f"{frame.function.name}: unknown block {frame.block!r}")
             if frame.index >= len(block.instructions):
                 raise InterpreterError(
                     f"{frame.function.name}:{frame.block} fell through without terminator"

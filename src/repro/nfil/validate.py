@@ -24,7 +24,6 @@ from repro.nfil.instructions import (
     Instruction,
     Jmp,
     Reg,
-    Ret,
 )
 from repro.nfil.program import BasicBlock, Function, Module
 
@@ -48,9 +47,7 @@ def _check_structure(function: Function) -> None:
     if not function.blocks:
         raise ValidationError(f"{function.name}: function has no blocks")
     if function.entry not in function.blocks:
-        raise ValidationError(
-            f"{function.name}: entry block {function.entry!r} does not exist"
-        )
+        raise ValidationError(f"{function.name}: entry block {function.entry!r} does not exist")
     for label, block in function.blocks.items():
         if label != block.label:
             raise ValidationError(
@@ -64,9 +61,7 @@ def _check_structure(function: Function) -> None:
                     f"{function.name}:{label}: terminator {instruction} not at block end"
                 )
         if not block.instructions[-1].is_terminator():
-            raise ValidationError(
-                f"{function.name}:{label}: block does not end with a terminator"
-            )
+            raise ValidationError(f"{function.name}:{label}: block does not end with a terminator")
         for target in _successors(block):
             if target not in function.blocks:
                 raise ValidationError(
@@ -102,9 +97,7 @@ def _check_calls(function: Function, module: Optional[Module]) -> None:
                         f"got {len(instruction.args)}"
                     )
             else:
-                raise ValidationError(
-                    f"{where}: call to unknown symbol {instruction.callee!r}"
-                )
+                raise ValidationError(f"{where}: call to unknown symbol {instruction.callee!r}")
 
 
 def _uses(instruction: Instruction) -> List[str]:

@@ -1,0 +1,54 @@
+"""The Vigor-style stateful data-structure library.
+
+Every NF in this repository is split, as in the paper, into stateless NFIL
+code and calls into a small library of stateful structures.  Each structure
+here ships the three artefacts the BOLT pipeline needs — a concrete
+instrumented implementation (an extern handler charging documented cost
+formulas), a symbolic model (via :class:`~repro.structures.base.StructureModel`),
+and a hand-derived per-operation performance contract — plus the machinery
+in :mod:`repro.structures.validation` that cross-checks the contract
+against Bolt's symbolic paths.
+
+Structures:
+
+* :class:`~repro.structures.hashmap.ChainingHashMap` — hash map with
+  chaining (PCV ``t``, chain links inspected).
+* :class:`~repro.structures.expiring.ExpiringMap` — hash map with
+  time-wheel expiry (PCVs ``w``/``e``/``t``); backs the MAC bridge.
+* :class:`~repro.structures.lpm.LpmTrie` — longest-prefix-match trie over
+  IPv4 addresses (PCV ``d``, trie depth); backs the LPM router.
+"""
+
+from repro.structures.base import (
+    NOT_FOUND,
+    OpSpec,
+    Structure,
+    StructureModel,
+    bounded_value_constraint,
+    linear_cost,
+)
+from repro.structures.expiring import ExpiringMap
+from repro.structures.hashmap import ChainingHashMap
+from repro.structures.lpm import LpmTrie
+from repro.structures.validation import (
+    OperationCheck,
+    StructureContractError,
+    bolt_operation_contract,
+    validate_structure_contract,
+)
+
+__all__ = [
+    "NOT_FOUND",
+    "ChainingHashMap",
+    "ExpiringMap",
+    "LpmTrie",
+    "OpSpec",
+    "OperationCheck",
+    "Structure",
+    "StructureContractError",
+    "StructureModel",
+    "bolt_operation_contract",
+    "bounded_value_constraint",
+    "linear_cost",
+    "validate_structure_contract",
+]

@@ -1,0 +1,284 @@
+"""Common machinery of the Vigor-style stateful structure library.
+
+The paper's NFs are all assembled from a small library of verified stateful
+data structures; every structure in :mod:`repro.structures` ships the three
+artefacts the BOLT pipeline needs:
+
+1. a **concrete instrumented implementation** — the structure is an
+   :class:`repro.nfil.interpreter.ExternHandler` whose handlers report the
+   instruction/memory cost of each call through the
+   :mod:`repro.nfil.tracer` conventions, together with the PCV values the
+   call actually incurred;
+2. a **symbolic model** — :class:`StructureModel` plugs any set of
+   structures into :class:`repro.sym.engine.SymbolicEngine`: extern outputs
+   become fresh symbols (optionally constrained) and every call charges the
+   PCV-parameterised cost its operation contract promises;
+3. a **hand-derived per-operation contract** — one
+   :class:`~repro.core.contract.PerformanceContract` entry per method
+   (:meth:`Structure.operation_contract`), validated by Bolt against the
+   symbolic paths in :mod:`repro.structures.validation` and against 100+
+   traced concrete operations in the test suite.
+
+The cost formulas live in each structure's :class:`OpSpec` table and are the
+*single source of truth*: the symbolic model charges them verbatim, the
+concrete handlers charge at most them (some fast paths charge slightly
+less), and the hand contract is assembled from them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.core.contract import ContractEntry, Metric, PerformanceContract
+from repro.core.input_class import InputClass
+from repro.core.pcv import PCV, PCVRegistry
+from repro.core.perfexpr import PerfExpr
+from repro.nfil.interpreter import ExternHandler, ExternResult
+from repro.nfil.program import ExternDecl, Module
+from repro.sym import expr as E
+from repro.sym.engine import ModelOutcome, SymbolicModel
+from repro.sym.expr import BV, Const, Sym
+from repro.sym.state import SymbolicState
+
+__all__ = [
+    "NOT_FOUND",
+    "OpSpec",
+    "Structure",
+    "StructureModel",
+    "bounded_value_constraint",
+    "linear_cost",
+]
+
+#: Sentinel returned by lookup-style operations for absent keys.
+NOT_FOUND = (1 << 64) - 1
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """The contract-facing specification of one structure operation.
+
+    Attributes:
+        method: method name; the extern is named ``"{instance}_{method}"``.
+        arity: number of arguments the extern takes.
+        returns_value: whether the extern produces a value.
+        cost: hand-derived per-metric worst-case cost of one call, written
+            over the structure's PCVs.  The symbolic model charges exactly
+            this; the concrete handlers never charge more.
+        pcvs: names of the PCVs the cost is written over.
+        description: human-readable meaning, rendered in contract tables.
+    """
+
+    method: str
+    arity: int
+    returns_value: bool
+    cost: Mapping[Metric, PerfExpr] = field(default_factory=dict)
+    pcvs: Tuple[str, ...] = ()
+    description: str = ""
+
+
+def linear_cost(
+    pcv: str, *, instr: Tuple[int, int], mem: Tuple[int, int]
+) -> Dict[Metric, PerfExpr]:
+    """Build the ``base + slope*pcv`` cost shape most operations use."""
+    base_i, per_i = instr
+    base_m, per_m = mem
+    return {
+        Metric.INSTRUCTIONS: PerfExpr.from_terms(**{pcv: per_i, "const": base_i}),
+        Metric.MEMORY_ACCESSES: PerfExpr.from_terms(**{pcv: per_m, "const": base_m}),
+    }
+
+
+class Structure(ExternHandler):
+    """Base class of every stateful structure in the library.
+
+    A subclass defines its operation table via :meth:`ops`, implements one
+    ``_op_{method}(args, memory)`` handler per operation, and provides its
+    PCV registry through :meth:`registry`.  The base class derives extern
+    declarations, the per-operation contract, and the handler registrations
+    from that table.
+    """
+
+    #: What kind of structure this is (e.g. ``"chaining_hash_map"``).
+    kind: str = "structure"
+
+    def __init__(self, name: str) -> None:
+        super().__init__()
+        if not name or not name.replace("_", "").isalnum():
+            raise ValueError(f"invalid structure instance name: {name!r}")
+        self.name = name
+        # Snapshot the op table once: op() sits on the hot concrete replay
+        # path (every charge() resolves its spec).
+        self._ops_by_method: Dict[str, OpSpec] = {op.method: op for op in self.ops()}
+        for op in self._ops_by_method.values():
+            handler = getattr(self, f"_op_{op.method}", None)
+            if handler is None:
+                raise TypeError(
+                    f"{type(self).__name__} declares op {op.method!r} "
+                    f"but implements no _op_{op.method}"
+                )
+            self.register(self.extern_name(op.method), handler)
+
+    # -- the operation table (overridden by subclasses) ------------------ #
+    def ops(self) -> Sequence[OpSpec]:
+        """Return the operation table of the structure."""
+        raise NotImplementedError
+
+    def registry(self) -> PCVRegistry:
+        """Return the PCVs (with instance-specific bounds) of the structure."""
+        raise NotImplementedError
+
+    def result_constraints(self, method: str, result: BV, args: Tuple[BV, ...]) -> Tuple[BV, ...]:
+        """Symbolic assumptions about the output of a value-returning op.
+
+        The default constrains nothing; subclasses with a known value range
+        (e.g. a map storing switch ports) narrow the havoced output here.
+        """
+        return ()
+
+    # -- derived plumbing ------------------------------------------------ #
+    def extern_name(self, method: str) -> str:
+        """Return the extern symbol of one method of this instance."""
+        return f"{self.name}_{method}"
+
+    def op(self, method: str) -> OpSpec:
+        """Return the spec of the named operation (as snapshot at init)."""
+        try:
+            return self._ops_by_method[method]
+        except KeyError:
+            raise KeyError(f"{self.name}: unknown operation {method!r}") from None
+
+    def declare(self, module: Module) -> None:
+        """Declare this instance's externs on ``module``."""
+        for op in self.ops():
+            module.declare_extern(
+                self.extern_name(op.method),
+                op.arity,
+                returns_value=op.returns_value,
+                structure=self.name,
+                method=op.method,
+            )
+
+    def operation_contract(self) -> PerformanceContract:
+        """The hand-derived contract: one entry per operation."""
+        contract = PerformanceContract(f"{self.name}({self.kind})", registry=self.registry())
+        for op in self.ops():
+            contract.add_entry(
+                ContractEntry(
+                    input_class=InputClass(op.method, description=op.description),
+                    exprs=dict(op.cost),
+                )
+            )
+        return contract
+
+    def charge(
+        self,
+        method: str,
+        value: Optional[int] = None,
+        *,
+        discount_instructions: int = 0,
+        **pcvs: int,
+    ) -> ExternResult:
+        """Build the :class:`ExternResult` of one concrete call.
+
+        Evaluates the operation's cost formulas at the observed PCV values;
+        ``discount_instructions`` lets a fast path report fewer instructions
+        than the worst-case formula (never more), keeping the hand contract
+        a genuine upper bound rather than a tautology.
+        """
+        op = self.op(method)
+        bindings = {name: pcvs.get(name, 0) for name in op.pcvs}
+        instructions = op.cost[Metric.INSTRUCTIONS].evaluate_int(bindings)
+        if discount_instructions < 0 or discount_instructions >= instructions:
+            raise ValueError(f"bad instruction discount {discount_instructions}")
+        return ExternResult(
+            value,
+            instructions=instructions - discount_instructions,
+            memory_accesses=op.cost[Metric.MEMORY_ACCESSES].evaluate_int(bindings),
+            pcvs=dict(bindings),
+        )
+
+
+def _widen(a: PCV, b: PCV) -> PCV:
+    """Merge two same-named PCV declarations into one shared, loosest one."""
+    if a == b:
+        return a
+    if a.max_value is None or b.max_value is None:
+        max_value = None
+    else:
+        max_value = max(a.max_value, b.max_value)
+    return PCV(
+        name=a.name,
+        description=a.description or b.description,
+        structure=a.structure if a.structure == b.structure else None,
+        min_value=min(a.min_value, b.min_value),
+        max_value=max_value,
+        unit=a.unit or b.unit,
+    )
+
+
+class StructureModel(SymbolicModel):
+    """Symbolic model over any set of library structures.
+
+    Dispatches each extern call to the owning structure's operation table:
+    value-returning operations havoc their output (constrained by the
+    structure's :meth:`~Structure.result_constraints`) and every call
+    charges the PCV-parameterised cost its operation contract promises —
+    byte-for-byte the formulas the concrete handlers charge.
+    """
+
+    def __init__(self, *structures: Structure) -> None:
+        self._by_extern: Dict[str, Tuple[Structure, OpSpec]] = {}
+        for structure in structures:
+            for op in structure.ops():
+                self._by_extern[structure.extern_name(op.method)] = (structure, op)
+
+    def registry(self) -> PCVRegistry:
+        """Return the merged PCV registry of all modelled structures.
+
+        Structures of different kinds may declare the same PCV name (both
+        map structures use ``t`` for chain links).  Sharing the symbol is
+        sound for upper bounds — concrete traces merge per-call PCV
+        observations by ``max`` — so colliding declarations are widened
+        (loosest bounds win) rather than rejected.
+        """
+        pcvs: Dict[str, PCV] = {}
+        seen: set[int] = set()
+        for structure, _ in self._by_extern.values():
+            if id(structure) in seen:
+                continue
+            seen.add(id(structure))
+            for pcv in structure.registry():
+                existing = pcvs.get(pcv.name)
+                pcvs[pcv.name] = pcv if existing is None else _widen(existing, pcv)
+        return PCVRegistry(pcvs.values())
+
+    def apply(
+        self,
+        decl: ExternDecl,
+        args: Tuple[BV, ...],
+        state: SymbolicState,
+        index: int,
+    ) -> ModelOutcome:
+        entry = self._by_extern.get(decl.name)
+        if entry is None:
+            return super().apply(decl, args, state, index)
+        structure, op = entry
+        value: Optional[Sym] = None
+        constraints: Tuple[BV, ...] = ()
+        if op.returns_value:
+            value = self.fresh(decl, index)
+            constraints = structure.result_constraints(op.method, value, args)
+        return ModelOutcome(value=value, constraints=constraints, cost=op.cost, pcvs=op.pcvs)
+
+
+def bounded_value_constraint(result: BV, bound: Optional[int]) -> Tuple[BV, ...]:
+    """The usual lookup-output constraint: NOT_FOUND or below ``bound``."""
+    if bound is None:
+        return ()
+    return (
+        E.bool_or(
+            E.eq(result, Const(NOT_FOUND, 64)),
+            E.ult(result, Const(bound, 64)),
+        ),
+    )

@@ -1,0 +1,131 @@
+"""Bolt cross-validation of the hand-derived structure contracts.
+
+Each structure in the library promises a hand-derived per-operation cost
+(:meth:`repro.structures.base.Structure.operation_contract`).  This module
+closes the loop: for every operation it synthesises a one-call NFIL driver,
+runs the full Bolt pipeline over it with the structure's symbolic model,
+and checks that the generated contract agrees with the hand-derived one on
+every PCV term — the only admissible difference is the (constant,
+non-negative) stateless cost of the driver itself.
+
+A disagreement means the symbolic model charges something other than what
+the structure's documented contract promises, which is exactly the
+regression the CI contract-smoke step exists to catch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.bolt import Bolt, BoltConfig
+from repro.core.contract import Metric, PerformanceContract
+from repro.core.perfexpr import PerfExpr
+from repro.nfil.builder import FunctionBuilder
+from repro.nfil.program import Module
+from repro.nfil.validate import validate_module
+from repro.structures.base import Structure, StructureModel
+from repro.sym.expr import Sym
+
+__all__ = [
+    "OperationCheck",
+    "StructureContractError",
+    "bolt_operation_contract",
+    "operation_module",
+    "validate_structure_contract",
+]
+
+
+class StructureContractError(ValueError):
+    """Bolt disagrees with a structure's hand-derived contract."""
+
+
+def operation_module(structure: Structure, method: str) -> Tuple[Module, str]:
+    """Synthesise a minimal NFIL driver calling one operation once."""
+    op = structure.op(method)
+    module = Module(f"{structure.name}_{method}_driver")
+    structure.declare(module)
+    function_name = f"drive_{method}"
+    b = FunctionBuilder(function_name, params=tuple(f"a{i}" for i in range(op.arity)))
+    args = [b.param(f"a{i}") for i in range(op.arity)]
+    if op.returns_value:
+        result = b.call(structure.extern_name(method), *args, name="result")
+        b.ret(result)
+    else:
+        b.call(structure.extern_name(method), *args, void=True)
+        b.ret(0)
+    module.add_function(b.build())
+    return validate_module(module), function_name
+
+
+def bolt_operation_contract(structure: Structure, method: str) -> PerformanceContract:
+    """Run Bolt end-to-end on the one-operation driver."""
+    module, function_name = operation_module(structure, method)
+    bolt = Bolt(
+        module,
+        function_name,
+        model=StructureModel(structure),
+        registry=structure.registry(),
+        config=BoltConfig(classifier=lambda path: method),
+    )
+    op = structure.op(method)
+    return bolt.generate([Sym(f"a{i}", 64) for i in range(op.arity)])
+
+
+@dataclass(frozen=True)
+class OperationCheck:
+    """Outcome of validating one operation's contract against Bolt.
+
+    ``driver_overhead`` is the per-metric constant by which the generated
+    expression exceeds the hand-derived one: the stateless instruction and
+    memory cost of the synthesised driver.
+    """
+
+    structure: str
+    method: str
+    hand: Dict[Metric, PerfExpr]
+    generated: Dict[Metric, PerfExpr]
+    driver_overhead: Dict[Metric, Fraction]
+
+
+def validate_structure_contract(
+    structure: Structure,
+    *,
+    metrics: Sequence[Metric] = (Metric.INSTRUCTIONS, Metric.MEMORY_ACCESSES),
+) -> List[OperationCheck]:
+    """Validate every operation of ``structure`` against Bolt.
+
+    Returns one :class:`OperationCheck` per operation.
+
+    Raises:
+        StructureContractError: the Bolt-generated cost differs from the
+            hand-derived cost by anything other than a non-negative
+            constant (the driver's stateless cost).
+    """
+    checks: List[OperationCheck] = []
+    for op in structure.ops():
+        contract = bolt_operation_contract(structure, op.method)
+        entry = contract.entry_for(op.method)
+        overhead: Dict[Metric, Fraction] = {}
+        for metric in metrics:
+            hand = op.cost.get(metric, PerfExpr.zero())
+            generated = entry.expr(metric)
+            diff = generated - hand
+            if not diff.is_constant() or diff.constant_term() < 0:
+                raise StructureContractError(
+                    f"{structure.name}.{op.method} [{metric}]: Bolt derived "
+                    f"'{generated}' but the hand contract promises '{hand}' "
+                    f"(difference '{diff}' is not a non-negative constant)"
+                )
+            overhead[metric] = diff.constant_term()
+        checks.append(
+            OperationCheck(
+                structure=structure.name,
+                method=op.method,
+                hand={metric: op.cost.get(metric, PerfExpr.zero()) for metric in metrics},
+                generated={metric: entry.expr(metric) for metric in metrics},
+                driver_overhead=overhead,
+            )
+        )
+    return checks

@@ -161,10 +161,7 @@ class SymbolicEngine:
             raise EngineError(
                 f"{function_name} expects {len(function.params)} args, got {len(args)}"
             )
-        registers = {
-            param.name: self._coerce(value)
-            for param, value in zip(function.params, args)
-        }
+        registers = {param.name: self._coerce(value) for param, value in zip(function.params, args)}
         state = SymbolicState(
             memory=memory if memory is not None else SymbolicMemory(),
             frames=[Frame(function, function.entry, 0, registers)],
@@ -190,9 +187,7 @@ class SymbolicEngine:
     @staticmethod
     def _dropped(state: SymbolicState) -> bool:
         """True for states whose path condition collapsed to literal false."""
-        return any(
-            isinstance(c, Const) and c.value == 0 for c in state.path_condition
-        )
+        return any(isinstance(c, Const) and c.value == 0 for c in state.path_condition)
 
     # ------------------------------------------------------------------ #
     # Machinery
@@ -258,9 +253,7 @@ class SymbolicEngine:
         elif isinstance(instruction, Cmp):
             a = self._operand(instruction.a, state)
             b = self._operand(instruction.b, state)
-            state.set_reg(
-                instruction.dest, E.zext(E.cmp(instruction.op, a, b), WORD_BITS)
-            )
+            state.set_reg(instruction.dest, E.zext(E.cmp(instruction.op, a, b), WORD_BITS))
         elif isinstance(instruction, Select):
             condition = self._as_bool(self._operand(instruction.cond, state))
             a = self._operand(instruction.a, state)
@@ -338,9 +331,7 @@ class SymbolicEngine:
         if self.module.is_extern(instruction.callee):
             decl = self.module.externs[instruction.callee]
             if len(args) != decl.arity:
-                raise EngineError(
-                    f"extern {decl.name} expects {decl.arity} args, got {len(args)}"
-                )
+                raise EngineError(f"extern {decl.name} expects {decl.arity} args, got {len(args)}")
             index = len(state.calls)
             outcome = self.model.apply(decl, args, state, index)
             state.calls.append(
@@ -368,9 +359,7 @@ class SymbolicEngine:
         if callee is None:
             raise EngineError(f"call to unknown symbol {instruction.callee!r}")
         if len(args) != len(callee.params):
-            raise EngineError(
-                f"{callee.name} expects {len(callee.params)} args, got {len(args)}"
-            )
+            raise EngineError(f"{callee.name} expects {len(callee.params)} args, got {len(args)}")
         state.frame.ret_dest = instruction.dest
         registers = {param.name: value for param, value in zip(callee.params, args)}
         state.frames.append(Frame(callee, callee.entry, 0, registers))

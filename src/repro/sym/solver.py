@@ -26,13 +26,12 @@ resulting contracts never silently drop a path.
 from __future__ import annotations
 
 import enum
-import itertools
 import random
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.sym import expr as E
-from repro.sym.expr import BV, BinOp, BoolOp, Cmp, Const, Not, Sym, evaluate, free_symbols
+from repro.sym.expr import BV, BinOp, BoolOp, Cmp, Const, Sym, evaluate, free_symbols
 from repro.sym.simplify import simplify, substitute
 
 __all__ = ["CheckResult", "Solver", "SolverStats"]
@@ -238,9 +237,7 @@ class Solver:
         self, constraints: Sequence[BV], symbols: Mapping[str, int]
     ) -> Optional[Dict[str, _Interval]]:
         """Derive per-symbol intervals from comparisons against constants."""
-        intervals = {
-            name: _Interval(0, E.mask(width)) for name, width in symbols.items()
-        }
+        intervals = {name: _Interval(0, E.mask(width)) for name, width in symbols.items()}
         for constraint in constraints:
             if isinstance(constraint, Cmp):
                 self._narrow(intervals, constraint)
@@ -374,9 +371,7 @@ class Solver:
         names = sorted(symbols)
         mined = self._mine_constants(constraints)
         candidates = {
-            name: self._candidate_values(
-                name, symbols[name], intervals[name], mined.get(name, ())
-            )
+            name: self._candidate_values(name, symbols[name], intervals[name], mined.get(name, ()))
             for name in names
         }
         names.sort(
@@ -398,9 +393,7 @@ class Solver:
                 if not units:
                     return remaining
                 partial.update(units)
-                flat = self._flatten(
-                    [substitute(constraint, units) for constraint in remaining]
-                )
+                flat = self._flatten([substitute(constraint, units) for constraint in remaining])
                 if flat is None:
                     return None
                 remaining = flat

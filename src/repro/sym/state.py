@@ -123,7 +123,7 @@ class SymbolicState:
             return self.frame.registers[name]
         except KeyError:
             raise KeyError(
-                f"{self.frame.function.name}: read of undefined register %{name}"
+                f"{self.frame.function.name}: read of undefined register %{name}",
             ) from None
 
     def set_reg(self, name: str, value: BV) -> None:
@@ -144,9 +144,7 @@ class SymbolicState:
         folded = simplify(addr)
         if isinstance(folded, Const):
             return folded.value
-        raise SymbolicAddressError(
-            f"address did not fold to a constant: {folded!r}"
-        )
+        raise SymbolicAddressError(f"address did not fold to a constant: {folded!r}")
 
     def load(self, addr: BV, size: int) -> BV:
         self.memory_accesses += 1

@@ -7,19 +7,22 @@ import random
 import pytest
 
 from repro.core import Distiller, Metric
-from repro.nfil import Interpreter, Memory
 from repro.nf.bridge import (
     BRIDGE_FUNCTION,
-    BridgeTable,
     DROP,
     FLOOD,
     PKT_BASE,
     bridge_replay_env,
     build_bridge_module,
     generate_bridge_contract,
+    make_bridge_table,
 )
+from repro.nfil import Interpreter, Memory
 
 CAPACITY = 16
+
+#: Every PCV of the bridge contract, zeroed (traces fill in observations).
+ZERO_PCVS = {"e": 0, "t": 0, "w": 0}
 
 
 @pytest.fixture(scope="module")
@@ -35,9 +38,7 @@ def _packet(dst: bytes, src: bytes) -> bytes:
 def _run(interp, packet, port, time):
     memory = Memory()
     memory.write_bytes(PKT_BASE, packet)
-    result, trace = interp.run(
-        BRIDGE_FUNCTION, [PKT_BASE, len(packet), port, time], memory=memory
-    )
+    result, trace = interp.run(BRIDGE_FUNCTION, [PKT_BASE, len(packet), port, time], memory=memory)
     return result, trace
 
 
@@ -49,7 +50,7 @@ def test_contract_has_the_four_bridge_classes(contract):
 
 
 def test_contract_expressions_use_the_declared_pcvs(contract):
-    assert contract.variables() <= {"e", "t"}
+    assert contract.variables() <= {"e", "t", "w"}
     # The short path never touches the MAC table: no t term.
     short = contract.entry_for("short")
     assert short.expr(Metric.INSTRUCTIONS).coefficient("t") == 0
@@ -62,7 +63,7 @@ def test_contract_expressions_use_the_declared_pcvs(contract):
 
 def test_bridge_concrete_behaviour():
     module = build_bridge_module()
-    table = BridgeTable(capacity=CAPACITY, timeout=1000)
+    table = make_bridge_table(CAPACITY, timeout=1000)
     interp = Interpreter(module, handler=table)
     a, b = b"\xaa" * 6, b"\xbb" * 6
 
@@ -84,15 +85,18 @@ def test_bridge_concrete_behaviour():
 
 def test_bridge_expiry_reports_e():
     module = build_bridge_module()
-    table = BridgeTable(capacity=CAPACITY, timeout=10)
+    table = make_bridge_table(CAPACITY, timeout=10)
     interp = Interpreter(module, handler=table)
     _run(interp, _packet(b"\x01" * 6, b"\x02" * 6), port=0, time=0)
     assert table.occupancy() == 1
     # Much later, the learned entry has expired: the expiry call reports e=1.
     _, trace = _run(interp, _packet(b"\x01" * 6, b"\x03" * 6), port=0, time=100)
     expire_call = trace.extern_calls[0]
-    assert expire_call.name == "bridge_expire"
-    assert expire_call.pcvs == {"e": 1}
+    assert expire_call.name == "bridge_map_expire"
+    assert expire_call.pcvs["e"] == 1
+    # The wheel never advances more than one revolution per sweep.
+    assert expire_call.pcvs["w"] <= table.wheel_slots
+    assert table.occupancy() == 1  # the fresh source MAC was re-learned
 
 
 def test_contract_bounds_100_replayed_packets(contract):
@@ -101,7 +105,7 @@ def test_contract_bounds_100_replayed_packets(contract):
     path) upper-bounds the traced instruction and memory counts, and the
     stateless portion matches the symbolic path exactly."""
     module = build_bridge_module()
-    table = BridgeTable(capacity=CAPACITY, timeout=50)
+    table = make_bridge_table(CAPACITY, timeout=50)
     interp = Interpreter(module, handler=table)
     rng = random.Random(2019)
     macs = [bytes(rng.randrange(256) for _ in range(6)) for _ in range(12)]
@@ -123,7 +127,7 @@ def test_contract_bounds_100_replayed_packets(contract):
         assert entry is not None, f"replay {n} not covered by any contract entry"
         classes_seen.add(entry.input_class.name)
 
-        bindings = {"e": 0, "t": 0}
+        bindings = dict(ZERO_PCVS)
         bindings.update(trace.pcv_bindings())
         predicted_instr = entry.evaluate(Metric.INSTRUCTIONS, bindings)
         predicted_mem = entry.evaluate(Metric.MEMORY_ACCESSES, bindings)
@@ -148,7 +152,7 @@ def test_contract_bounds_100_replayed_packets(contract):
 def test_contract_worst_case_bounds_everything(contract):
     """Evaluating at the PCV upper bounds dominates any concrete run."""
     module = build_bridge_module()
-    table = BridgeTable(capacity=CAPACITY, timeout=25)
+    table = make_bridge_table(CAPACITY, timeout=25)
     interp = Interpreter(module, handler=table)
     rng = random.Random(7)
     macs = [bytes(rng.randrange(256) for _ in range(6)) for _ in range(30)]
@@ -164,11 +168,11 @@ def test_contract_worst_case_bounds_everything(contract):
 def test_short_path_prediction_is_exact(contract):
     """With nothing to expire, the short-frame entry predicts exactly."""
     module = build_bridge_module()
-    table = BridgeTable(capacity=CAPACITY, timeout=10_000)
+    table = make_bridge_table(CAPACITY, timeout=10_000)
     interp = Interpreter(module, handler=table)
     _, trace = _run(interp, b"\x00" * 5, port=3, time=1)
     entry = contract.entry_for("short")
-    bindings = {"e": 0, "t": 0}
+    bindings = dict(ZERO_PCVS)
     bindings.update(trace.pcv_bindings())
     assert entry.evaluate(Metric.INSTRUCTIONS, bindings) == trace.total_instructions()
     assert entry.evaluate(Metric.MEMORY_ACCESSES, bindings) == trace.total_memory_accesses()
@@ -191,13 +195,13 @@ def test_replay_of_symbolic_witnesses(contract):
                 for record in path.calls
                 if record.result_name is not None and record.result_name in inputs
             ]
-            table = BridgeTable(capacity=CAPACITY, timeout=10_000)
+            table = make_bridge_table(CAPACITY, timeout=10_000)
             # Prime the MAC table so the destination lookup returns the
             # modelled value (when the model says the MAC is known).
             dmac = int.from_bytes(packet[0:6], "little")
             for value in get_results:
                 if value != (1 << 64) - 1:
-                    table.slots[table._hash(dmac)] = (dmac, value, 0)
+                    table.insert(dmac, value, now=0)
             interp = Interpreter(module, handler=table)
             memory = Memory()
             memory.write_bytes(PKT_BASE, packet)
@@ -225,9 +229,7 @@ def test_custom_bolt_config_keeps_bridge_classifier():
     """Tuning unrelated knobs must not silently lose per-class entries."""
     from repro.core import BoltConfig
 
-    custom = generate_bridge_contract(
-        capacity=CAPACITY, config=BoltConfig(max_paths=64)
-    )
+    custom = generate_bridge_contract(capacity=CAPACITY, config=BoltConfig(max_paths=64))
     assert sorted(custom.class_names()) == ["hairpin", "hit", "miss", "short"]
 
 

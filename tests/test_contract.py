@@ -108,20 +108,14 @@ def test_compose_contracts_cross_product():
 def test_naive_add_contracts_single_worst_case():
     a = PerformanceContract("a")
     a.add_entry(
-        ContractEntry(
-            InputClass("x"), {Metric.INSTRUCTIONS: PerfExpr.from_terms(t=2, const=5)}
-        )
+        ContractEntry(InputClass("x"), {Metric.INSTRUCTIONS: PerfExpr.from_terms(t=2, const=5)})
     )
     a.add_entry(
-        ContractEntry(
-            InputClass("y"), {Metric.INSTRUCTIONS: PerfExpr.from_terms(t=1, const=9)}
-        )
+        ContractEntry(InputClass("y"), {Metric.INSTRUCTIONS: PerfExpr.from_terms(t=1, const=9)})
     )
     b = PerformanceContract("b")
     b.add_entry(
-        ContractEntry(
-            InputClass("z"), {Metric.INSTRUCTIONS: PerfExpr.from_terms(const=100)}
-        )
+        ContractEntry(InputClass("z"), {Metric.INSTRUCTIONS: PerfExpr.from_terms(const=100)})
     )
     total = naive_add_contracts("sum", [a, b])
     assert len(total) == 1
@@ -165,9 +159,7 @@ def test_input_class_predicate_matching():
     from repro.sym import expr as E
     from repro.sym.expr import Const, Sym
 
-    small = InputClass(
-        "small", predicate=E.ult(Sym("len", 64), Const(64, 64))
-    )
+    small = InputClass("small", predicate=E.ult(Sym("len", 64), Const(64, 64)))
     assert small.matches({"len": 10})
     assert not small.matches({"len": 100})
     with pytest.raises(ValueError):

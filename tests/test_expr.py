@@ -3,7 +3,7 @@
 import pytest
 
 from repro.sym import expr as E
-from repro.sym.expr import BV, Const, Sym, evaluate, free_symbols
+from repro.sym.expr import Const, Sym, evaluate, free_symbols
 
 
 def test_constant_folding_arithmetic():

@@ -21,9 +21,7 @@ def test_substitute_partial_keeps_symbolic_rest():
 def test_substitute_expression_binding():
     x, y = Sym("x", 8), Sym("y", 8)
     e = E.mul(x, Const(2, 8))
-    assert substitute(e, {"x": E.add(y, Const(1, 8))}) == E.mul(
-        E.add(y, Const(1, 8)), Const(2, 8)
-    )
+    assert substitute(e, {"x": E.add(y, Const(1, 8))}) == E.mul(E.add(y, Const(1, 8)), Const(2, 8))
 
 
 def test_ite_comparison_collapse():

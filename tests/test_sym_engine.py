@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.nfil import FunctionBuilder, Interpreter, Memory, Module
+from repro.nfil import FunctionBuilder, Interpreter, Module
 from repro.sym import expr as E
 from repro.sym.engine import (
     ExplorationLimit,
@@ -79,9 +79,7 @@ def test_infeasible_side_is_pruned():
     module = Module("m")
     module.add_function(b.build())
     x = Sym("x", 64)
-    paths = SymbolicEngine(module).explore(
-        "f", [x], constraints=[E.ult(x, Const(5, 64))]
-    )
+    paths = SymbolicEngine(module).explore("f", [x], constraints=[E.ult(x, Const(5, 64))])
     assert len(paths) == 1
     assert E.evaluate(paths[0].returned) == 0
 
@@ -132,9 +130,7 @@ def test_custom_model_constraints_shape_exploration():
     class PinnedModel(SymbolicModel):
         def apply(self, decl, args, state, index):
             value = self.fresh(decl, index)
-            return ModelOutcome(
-                value=value, constraints=(E.eq(value, Const(7, 64)),)
-            )
+            return ModelOutcome(value=value, constraints=(E.eq(value, Const(7, 64)),))
 
     module = Module("m")
     module.declare_extern("lookup", 0, returns_value=True)
