@@ -19,11 +19,17 @@ NSDI 2019 together with the substrates it depends on:
   model, and a hand-derived per-operation contract cross-validated by Bolt.
 * :mod:`repro.nf` — the network functions under analysis: the MAC learning
   bridge and a static LPM IPv4 router, both assembled from the structure
-  library.
+  library, plus their replay harnesses and evaluation workloads.
+* :mod:`repro.hw` — hardware cycle models mapping contract
+  instruction/memory counts to cycle predictions: a conservative
+  worst-case model and a realistic model with per-structure cache-hit
+  assumptions.
+* :mod:`repro.traffic` — packet helpers, uniform/Zipf/adversarial workload
+  generation, and the measured-vs-predicted replayer behind
+  ``python -m repro.cli bench``.
 
-Follow-on layers tracked in ROADMAP.md (hardware models, traffic
-generation/replay, packet/protocol helpers, analysis tooling) will
-register here as they land.
+Follow-on layers tracked in ROADMAP.md (more NFs, distiller deepening,
+scale/perf work) will register here as they land.
 """
 
 from repro.core.contract import ContractEntry, Metric, PerformanceContract
@@ -46,4 +52,4 @@ __all__ = [
     "PerformanceContract",
 ]
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"

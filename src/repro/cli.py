@@ -1,29 +1,45 @@
-"""Contract-validation smoke runner (``python -m repro.cli``).
+"""Command-line entry points: contract validation and the evaluation bench.
 
-Runs the full pipeline for everything shipped in the repository and prints
-the artefacts a human (or a CI log reader) needs to spot a regression in
-generated bounds:
+``python -m repro.cli [smoke]``
+    Runs the full pipeline for everything shipped in the repository and
+    prints the artefacts a human (or a CI log reader) needs to spot a
+    regression in generated bounds: every library structure's
+    hand-derived per-operation contract cross-validated against Bolt, and
+    the generated contracts of both NFs with per-path feasibility.
 
-1. every library structure's hand-derived per-operation contract,
-   cross-validated against Bolt via
-   :func:`repro.structures.validation.validate_structure_contract`;
-2. the generated contracts of both NFs (bridge and LPM router), with every
-   symbolic path's feasibility.
+``python -m repro.cli bench``
+    Closes the evaluation loop (§5 of the paper): replays uniform, Zipf
+    and adversarial workloads through both NFs, derives cycle predictions
+    under the conservative and realistic hardware models, asserts
+    **measured ≤ predicted on every packet** (counts and cycles), checks
+    that the adversarial streams actually drive the PCVs to their
+    declared bounds, and writes the whole record to a ``BENCH_*.json``
+    CI archives as an artifact.
 
-Output is printed section by section as it is produced, so even a crash
-mid-run leaves the already-validated tables in the job log.  Exits
-non-zero when a structure's hand contract disagrees with Bolt or an NF
-contract loses an expected input class, so CI fails loudly instead of
-shipping silently-changed bounds.
+Both commands print section by section as output is produced, so even a
+crash mid-run leaves the already-validated tables in the job log, and exit
+non-zero on any failure so CI fails loudly instead of shipping
+silently-changed bounds.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import sys
+from typing import Dict, List, Optional
 
 import repro.structures as structures_pkg
+from repro.core import Distiller
+from repro.hw import ConservativeModel, CycleModel, RealisticModel, model_to_json
 from repro.nf.bridge import generate_bridge_contract
 from repro.nf.router import generate_router_contract
+from repro.nf.workloads import (
+    Workload,
+    bridge_workloads,
+    router_workloads,
+    worst_case_report,
+)
 from repro.structures import (
     ChainingHashMap,
     ExpiringMap,
@@ -32,16 +48,27 @@ from repro.structures import (
     StructureContractError,
     validate_structure_contract,
 )
+from repro.traffic import Replayer
 
 #: Input classes each NF contract must keep covering.
 EXPECTED_BRIDGE_CLASSES = {"short", "miss", "hairpin", "hit"}
 EXPECTED_ROUTER_CLASSES = {"short", "non_ip", "ttl_expired", "no_route", "routed"}
+
+#: Bench defaults: bridge table geometry and per-workload packet budget.
+BENCH_CAPACITY = 16
+BENCH_TIMEOUT = 50
+BENCH_PACKETS = 150
+BENCH_SEED = 2019
+BENCH_OUTPUT = "BENCH_eval.json"
 
 
 def _section(title: str) -> None:
     print(f"\n{'=' * 72}\n{title}\n{'=' * 72}")
 
 
+# --------------------------------------------------------------------------- #
+# smoke: structure + contract validation
+# --------------------------------------------------------------------------- #
 def run_structure_validation() -> int:
     """Validate every library structure's contract against Bolt."""
     failures = 0
@@ -100,12 +127,141 @@ def run_nf_contracts() -> int:
     return failures
 
 
-def main() -> int:
+def run_smoke() -> int:
     failures = run_structure_validation()
     failures += run_nf_contracts()
     print()
     print("SMOKE FAILED" if failures else "SMOKE OK")
     return 1 if failures else 0
+
+
+# --------------------------------------------------------------------------- #
+# bench: measured vs predicted under workloads and hardware models
+# --------------------------------------------------------------------------- #
+def _bench_nf(
+    nf_name: str,
+    contract,
+    workloads: List[Workload],
+    models: List[CycleModel],
+    expected_classes: set,
+) -> Dict[str, object]:
+    """Replay one NF's workloads; return its JSON record (with failures)."""
+    failures = 0
+    record: Dict[str, object] = {"contract_classes": contract.class_names(), "workloads": {}}
+    classes_seen: set = set()
+    for workload in workloads:
+        result = Replayer(workload.harness, contract, models=models).replay(
+            workload.stimuli, workload=workload.name
+        )
+        print()
+        print(result.table())
+        payload = result.to_json()
+        failures += len(result.violations)
+        for message in result.violations[:10]:
+            print(f"FAIL: {message}")
+        classes_seen.update(name for name in result.classes_seen() if name != "<unclassified>")
+        if workload.expected_worst:
+            worst = worst_case_report(result.max_pcvs, workload.expected_worst)
+            payload["worst_case"] = worst
+            for pcv, check in worst.items():
+                status = "hit" if check["hit"] else "MISSED"
+                print(
+                    f"  adversarial worst case for {pcv}: observed "
+                    f"{check['observed']} / bound {check['bound']} -> {status}"
+                )
+                if not check["hit"]:
+                    failures += 1
+        record["workloads"][workload.name] = payload  # type: ignore[index]
+    missing = expected_classes - classes_seen
+    if missing:
+        failures += 1
+        print(f"FAIL: {nf_name} workloads never exercised classes {sorted(missing)}")
+    record["classes_seen"] = sorted(classes_seen)
+    record["failures"] = failures
+    # Show what the hardware models make of the contract, distilled.
+    for model in models:
+        report = Distiller(contract).distill_cycles(
+            model, structures=tuple(workloads[0].harness.structures)
+        )
+        print()
+        print(report.render())
+    return record
+
+
+def run_bench(
+    *,
+    output: str = BENCH_OUTPUT,
+    packets: int = BENCH_PACKETS,
+    seed: int = BENCH_SEED,
+) -> int:
+    """Replay both NFs under all workloads; write the BENCH_*.json report."""
+    models: List[CycleModel] = [ConservativeModel(), RealisticModel()]
+    report: Dict[str, object] = {
+        "schema": "repro-bench/1",
+        "command": "python -m repro.cli bench",
+        "seed": seed,
+        "packets_per_workload": packets,
+        "hw_models": {model.name: model_to_json(model) for model in models},
+        "nfs": {},
+    }
+    failures = 0
+
+    _section("bench: MAC learning bridge")
+    bridge_contract = generate_bridge_contract(BENCH_CAPACITY, BENCH_TIMEOUT)
+    record = _bench_nf(
+        "bridge",
+        bridge_contract,
+        bridge_workloads(
+            seed=seed, capacity=BENCH_CAPACITY, timeout=BENCH_TIMEOUT, packets=packets
+        ),
+        models,
+        EXPECTED_BRIDGE_CLASSES,
+    )
+    failures += int(record["failures"])  # type: ignore[arg-type]
+    report["nfs"]["bridge"] = record  # type: ignore[index]
+
+    _section("bench: static LPM router")
+    router_contract = generate_router_contract()
+    record = _bench_nf(
+        "router",
+        router_contract,
+        router_workloads(seed=seed, packets=packets),
+        models,
+        EXPECTED_ROUTER_CLASSES,
+    )
+    failures += int(record["failures"])  # type: ignore[arg-type]
+    report["nfs"]["router"] = record  # type: ignore[index]
+
+    report["ok"] = failures == 0
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print()
+    print(f"wrote {output}")
+    print("BENCH FAILED" if failures else "BENCH OK: measured <= predicted on every packet")
+    return 1 if failures else 0
+
+
+# --------------------------------------------------------------------------- #
+# entry point
+# --------------------------------------------------------------------------- #
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli",
+        description="BOLT reproduction: contract validation and evaluation bench.",
+    )
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("smoke", help="validate structure and NF contracts (default)")
+    bench = sub.add_parser("bench", help="measured-vs-predicted evaluation bench")
+    bench.add_argument("--output", default=BENCH_OUTPUT, help="report path (BENCH_*.json)")
+    bench.add_argument(
+        "--packets", type=int, default=BENCH_PACKETS, help="packets per uniform/zipf workload"
+    )
+    bench.add_argument("--seed", type=int, default=BENCH_SEED, help="workload RNG seed")
+    args = parser.parse_args(argv)
+    if args.command == "bench":
+        return run_bench(output=args.output, packets=args.packets, seed=args.seed)
+    return run_smoke()
 
 
 if __name__ == "__main__":

@@ -19,7 +19,7 @@ from repro.core.input_class import InputClass
 from repro.core.bolt import Bolt, BoltConfig
 from repro.core.composition import compose_contracts, naive_add_contracts
 from repro.core.distiller import Distiller, DistillerReport
-from repro.core.report import format_contract
+from repro.core.report import format_contract, format_table
 
 __all__ = [
     "Bolt",
@@ -35,6 +35,7 @@ __all__ = [
     "PerformanceContract",
     "compose_contracts",
     "format_contract",
+    "format_table",
     "naive_add_contracts",
     "upper_envelope",
 ]

@@ -33,12 +33,15 @@ class Metric(enum.Enum):
 
     The paper's BOLT emits contracts for the two metrics binary
     instrumentation can count exactly: dynamic instructions and memory
-    accesses (loads + stores).  Hardware-level metrics (cycles, latency)
-    are derived from these by a hardware model — a follow-on layer.
+    accesses (loads + stores).  ``CYCLES`` is never emitted by BOLT
+    directly: a :mod:`repro.hw` cycle model derives it from the other two
+    (via :meth:`~repro.hw.CycleModel.derive`), mirroring how the paper maps
+    counted costs to hardware-level predictions for its x86 testbed (§5).
     """
 
     INSTRUCTIONS = "instructions"
     MEMORY_ACCESSES = "memory_accesses"
+    CYCLES = "cycles"
 
     def __str__(self) -> str:
         return self.value

@@ -107,6 +107,26 @@ class Distiller:
             )
         return DistillerReport(nf_name=self.contract.nf_name, metric=metric, entries=tuple(entries))
 
+    def distill_cycles(
+        self,
+        model,
+        *,
+        structures=(),
+        relative_threshold: float = 0.05,
+        bounds: Optional[Mapping[str, Number]] = None,
+    ) -> DistillerReport:
+        """Distil the cycle expressions a hardware model derives (§5).
+
+        ``model`` is a :class:`repro.hw.CycleModel` (typed loosely to keep
+        ``repro.core`` import-free of the higher :mod:`repro.hw` layer):
+        the contract is first run through ``model.derive`` and the
+        resulting ``cycles`` column distilled like any counted metric.
+        """
+        derived = model.derive(self.contract, structures=structures)  # type: ignore[attr-defined]
+        return Distiller(derived).distill(
+            Metric.CYCLES, relative_threshold=relative_threshold, bounds=bounds
+        )
+
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #

@@ -1,7 +1,8 @@
 """Symbolic performance expressions over performance-critical variables.
 
-A :class:`PerfExpr` is a multivariate polynomial with integer (or rational)
-coefficients over PCV names, e.g. the bridge contract entry of Table 4::
+The body of every contract entry (§2.2 of the paper): a :class:`PerfExpr`
+is a multivariate polynomial with integer (or rational) coefficients over
+PCV names, e.g. the bridge contract entry of Table 4::
 
     245·e + 144·c + 36·t + 82·e·c + 19·e·t + 882
 

@@ -1,16 +1,38 @@
-"""Human-readable rendering of performance contracts.
+"""Human-readable rendering of contracts and measured-vs-predicted tables.
 
-Produces tables in the style of the paper's Table 4: one row per input
-class, one column per metric, expressions written over PCVs.
+Produces tables in the style of the paper's contract tables (§2.2, Table 4)
+— one row per input class, one column per metric, expressions written over
+PCVs — plus the aligned-table primitive (:func:`format_table`) the
+evaluation harness (:mod:`repro.traffic.replayer`, ``repro.cli bench``)
+uses for its measured-vs-predicted summaries (§5-style evaluation output).
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Sequence
 
 from repro.core.contract import Metric, PerformanceContract
 
-__all__ = ["format_contract"]
+__all__ = ["format_contract", "format_table"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Render an aligned text table with a dashed header rule."""
+    rows = [[str(cell) for cell in row] for row in rows]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row {row!r} has {len(row)} cells, expected {len(headers)}")
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths)).rstrip()
+
+    out = [line(list(headers)), line(["-" * width for width in widths])]
+    out.extend(line(row) for row in rows)
+    return "\n".join(out)
 
 
 def format_contract(
@@ -27,13 +49,6 @@ def format_contract(
         for metric in metrics:
             row.append(entry.expr(metric).render(multiplication_sign=multiplication_sign))
         rows.append(row)
-    widths = [
-        max(len(headers[i]), *(len(row[i]) for row in rows)) if rows else len(headers[i])
-        for i in range(len(headers))
-    ]
-
-    def line(cells: List[str]) -> str:
-        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths)).rstrip()
 
     out = [f"performance contract for {contract.nf_name}"]
     if contract.registry.names():
@@ -45,7 +60,5 @@ def format_contract(
         if descriptions:
             out.append("PCVs:")
             out.extend(descriptions)
-    out.append(line(headers))
-    out.append(line(["-" * width for width in widths]))
-    out.extend(line(row) for row in rows)
+    out.append(format_table(headers, rows))
     return "\n".join(out)

@@ -1,0 +1,36 @@
+"""Hardware cycle models (the paper's counts-to-cycles mapping, §5).
+
+A :class:`~repro.core.contract.PerformanceContract` bounds instruction and
+memory-access counts; this package maps those counts to **cycles** so
+predictions can be compared against (simulated) measured executions:
+
+* :class:`ConservativeModel` — worst-case bound: CPI 1, every access a
+  DRAM miss.
+* :class:`RealisticModel` — simulated testbed: superscalar issue width,
+  L1-resident stateless accesses, per-structure cache-hit assumptions.
+
+``model.derive(contract)`` returns a contract with a ``cycles`` column;
+``model.measure(trace)`` prices a concrete execution under the same
+assumptions.  The bench harness (``python -m repro.cli bench``) asserts
+measured ≤ predicted for every replayed packet under both models.
+"""
+
+from repro.hw.model import (
+    DEFAULT_HIT_RATES,
+    ConservativeModel,
+    CycleModel,
+    HwSpec,
+    RealisticModel,
+    model_to_json,
+    spec_to_json,
+)
+
+__all__ = [
+    "DEFAULT_HIT_RATES",
+    "ConservativeModel",
+    "CycleModel",
+    "HwSpec",
+    "RealisticModel",
+    "model_to_json",
+    "spec_to_json",
+]

@@ -1,0 +1,343 @@
+"""Cycle models: mapping contract metrics to hardware cycle predictions.
+
+BOLT's contracts bound the two quantities binary instrumentation can count
+exactly — dynamic instructions and memory accesses.  To talk about *time*
+(the paper's §5 evaluation compares predicted against measured cycles on an
+x86 testbed), those counts must pass through a hardware model.  This module
+provides the two models the reproduction's evaluation loop uses:
+
+* :class:`ConservativeModel` — the worst-case bound: every instruction
+  retires alone (CPI 1) and every memory access misses all caches and pays
+  the full DRAM latency.  No real execution on the modelled hardware can
+  exceed it.
+* :class:`RealisticModel` — the simulated-testbed model: a superscalar
+  issue width amortises instructions, stateless accesses (packet buffer,
+  locals) hit the L1, and each stateful structure gets a per-structure
+  cache-hit assumption that blends L1 and DRAM latency (a hash chain walk
+  has worse locality than an LPM trie's hot top levels).
+
+Both models expose the same three-sided API:
+
+* **predict** — :meth:`CycleModel.cycles_expr` turns one contract entry's
+  instruction/memory expressions into a cycle :class:`PerfExpr` over the
+  same PCVs; :meth:`CycleModel.derive` does it for a whole contract,
+  producing a new :class:`PerformanceContract` with a ``cycles`` column
+  that renders and distils like any other.
+* **measure** — :meth:`CycleModel.measure` prices one traced concrete
+  execution (an :class:`~repro.nfil.tracer.ExecutionTrace`) under the same
+  assumptions, attributing each extern call's accesses to its structure.
+* **bound** — :meth:`CycleModel.envelope` evaluates the derived cycle
+  expressions at the PCV upper bounds: the worst-case cycle envelope.
+
+Soundness of measured ≤ predicted: every per-unit price is non-negative
+and *predict* prices each memory term at the **maximum** latency of any
+party that could have produced it (the constant term at the max over the
+stateless price and every structure's price, PCV terms at their owning
+structure's price), while *measure* prices each access at its actual
+producer's latency.  Since the contract's counts bound the traced counts
+per attribution class (the PR 1/2 replay invariant), the priced sums
+preserve the inequality packet by packet — which is exactly what
+``python -m repro.cli bench`` asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Mapping, Optional, Sequence, Union
+
+from repro.core.contract import ContractEntry, Metric, PerformanceContract
+from repro.core.perfexpr import Monomial, Number, PerfExpr
+from repro.nfil.tracer import ExecutionTrace
+from repro.structures.base import Structure
+
+__all__ = [
+    "ConservativeModel",
+    "CycleModel",
+    "DEFAULT_HIT_RATES",
+    "HwSpec",
+    "RealisticModel",
+    "model_to_json",
+    "spec_to_json",
+]
+
+
+def _as_fraction(value: Number) -> Fraction:
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, int):
+        return Fraction(value)
+    return Fraction(value).limit_denominator(10**6)
+
+
+@dataclass(frozen=True)
+class HwSpec:
+    """The latency parameters of the modelled machine.
+
+    Defaults approximate a commodity server core: a 2-wide sustainable
+    issue width, a 4-cycle L1 hit and a 100-cycle DRAM round trip.
+
+    Attributes:
+        name: human-readable machine name (lands in bench reports).
+        issue_width: instructions the realistic model retires per cycle.
+        l1_latency: cycles per cache-hit memory access.
+        dram_latency: cycles per full-miss memory access.
+    """
+
+    name: str = "commodity-x86"
+    issue_width: int = 2
+    l1_latency: int = 4
+    dram_latency: int = 100
+
+    def __post_init__(self) -> None:
+        if self.issue_width < 1:
+            raise ValueError("issue_width must be at least 1")
+        if not 0 < self.l1_latency <= self.dram_latency:
+            raise ValueError("latencies must satisfy 0 < l1_latency <= dram_latency")
+
+
+#: Default cache-hit assumptions per structure *kind*, used by the
+#: realistic model when no per-instance override is given.  A hash chain
+#: walk touches scattered links (cold-ish); an LPM trie's top levels are
+#: shared by every lookup and stay resident.
+DEFAULT_HIT_RATES: Dict[str, Fraction] = {
+    "chaining_hash_map": Fraction(9, 10),
+    "expiring_map": Fraction(9, 10),
+    "lpm_trie": Fraction(19, 20),
+}
+
+
+class CycleModel:
+    """Base class of cycle models; subclasses fix the pricing policy.
+
+    A pricing policy is three per-unit prices, all in cycles:
+
+    * :meth:`instruction_cycles` — per retired dynamic instruction,
+    * :meth:`stateless_access_cycles` — per memory access of the stateless
+      NFIL code,
+    * :meth:`structure_access_cycles` — per memory access performed inside
+      a given stateful structure (``None`` means "unknown producer" and
+      must be priced at the worst latency).
+    """
+
+    #: Short model name used in bench reports and derived contract names.
+    name: str = "cycle_model"
+
+    def __init__(self, spec: Optional[HwSpec] = None) -> None:
+        self.spec = spec if spec is not None else HwSpec()
+
+    # -- pricing policy (overridden by subclasses) ----------------------- #
+    def instruction_cycles(self) -> Fraction:
+        """Cycles charged per dynamic instruction."""
+        raise NotImplementedError
+
+    def stateless_access_cycles(self) -> Fraction:
+        """Cycles charged per stateless memory access."""
+        raise NotImplementedError
+
+    def structure_access_cycles(self, structure: Optional[Structure]) -> Fraction:
+        """Cycles charged per memory access inside ``structure``."""
+        raise NotImplementedError
+
+    # -- prediction side ------------------------------------------------- #
+    def _monomial_access_cycles(
+        self, monomial: Monomial, structures: Sequence[Structure]
+    ) -> Fraction:
+        """Price one memory-expression monomial.
+
+        The constant term may mix stateless accesses with the constant
+        base cost of any structure call, so it is priced at the maximum
+        over all candidate producers.  A PCV monomial is produced by the
+        structure(s) owning the PCV; a PCV owned by no known structure is
+        priced at the unknown-producer worst case.
+        """
+        if not monomial:
+            prices = [self.stateless_access_cycles()]
+            prices.extend(self.structure_access_cycles(s) for s in structures)
+            return max(prices)
+        owners = [s for s in structures if any(name in s.registry() for name in monomial)]
+        if not owners:
+            return self.structure_access_cycles(None)
+        return max(self.structure_access_cycles(s) for s in owners)
+
+    def cycles_expr(
+        self, entry: ContractEntry, *, structures: Sequence[Structure] = ()
+    ) -> PerfExpr:
+        """Derive one entry's cycle expression over its PCVs."""
+        expr = entry.expr(Metric.INSTRUCTIONS).scaled(self.instruction_cycles())
+        for monomial, coeff in entry.expr(Metric.MEMORY_ACCESSES).terms.items():
+            price = self._monomial_access_cycles(monomial, structures)
+            expr += PerfExpr({monomial: coeff * price})
+        return expr
+
+    def predict(
+        self,
+        entry: ContractEntry,
+        bindings: Mapping[str, Number],
+        *,
+        structures: Sequence[Structure] = (),
+    ) -> Fraction:
+        """Predicted cycles of one entry at concrete PCV bindings."""
+        return self.cycles_expr(entry, structures=structures).evaluate(bindings)
+
+    def derive(
+        self, contract: PerformanceContract, *, structures: Sequence[Structure] = ()
+    ) -> PerformanceContract:
+        """Return ``contract`` extended with a derived ``cycles`` column.
+
+        The derived contract keeps the original entries' instruction and
+        memory expressions (and their symbolic paths), so it classifies,
+        renders and distils exactly like the input contract.
+        """
+        derived = PerformanceContract(
+            f"{contract.nf_name}@{self.name}", registry=contract.registry
+        )
+        for entry in contract.entries:
+            exprs = dict(entry.exprs)
+            exprs[Metric.CYCLES] = self.cycles_expr(entry, structures=structures)
+            derived.add_entry(
+                ContractEntry(input_class=entry.input_class, exprs=exprs, paths=entry.paths)
+            )
+        return derived
+
+    def envelope(
+        self,
+        contract: PerformanceContract,
+        *,
+        structures: Sequence[Structure] = (),
+        bounds: Optional[Mapping[str, Number]] = None,
+    ) -> Fraction:
+        """Worst-case cycle bound over all entries at the PCV upper bounds."""
+        if bounds is None:
+            bounds = contract.registry.default_bounds()
+        worst = Fraction(0)
+        for entry in contract.entries:
+            worst = max(worst, self.cycles_expr(entry, structures=structures).upper_bound(bounds))
+        return worst
+
+    # -- measurement side ------------------------------------------------ #
+    @staticmethod
+    def call_owners(structures: Sequence[Structure]) -> Dict[str, Structure]:
+        """Map every extern name to the structure instance serving it.
+
+        Resolution is by exact extern name (each operation's
+        ``extern_name``), never by name prefix — with instances named,
+        say, ``fib`` and ``fib_cache``, a prefix match would silently
+        misattribute ``fib_cache_lookup`` accesses to ``fib``.
+        """
+        owners: Dict[str, Structure] = {}
+        for structure in structures:
+            for op in structure.ops():
+                owners[structure.extern_name(op.method)] = structure
+        return owners
+
+    def measure(
+        self, trace: ExecutionTrace, *, structures: Sequence[Structure] = ()
+    ) -> Fraction:
+        """Price one traced concrete execution under this model.
+
+        Every dynamic instruction (stateless and extern) pays
+        :meth:`instruction_cycles`; stateless accesses pay the stateless
+        price; each extern call's accesses pay its owning structure's
+        price (worst-case price when the owner is unknown).
+        """
+        owners = self.call_owners(structures)
+        cycles = Fraction(trace.total_instructions()) * self.instruction_cycles()
+        cycles += Fraction(trace.memory_accesses) * self.stateless_access_cycles()
+        for call in trace.extern_calls:
+            owner = owners.get(call.name)
+            cycles += Fraction(call.memory_accesses) * self.structure_access_cycles(owner)
+        return cycles
+
+
+class ConservativeModel(CycleModel):
+    """Worst-case pricing: CPI 1, every memory access a full DRAM miss.
+
+    Nothing on the modelled machine can run slower, so the derived cycle
+    column is a hard bound whatever the cache behaviour turns out to be.
+    """
+
+    name = "conservative"
+
+    def instruction_cycles(self) -> Fraction:
+        return Fraction(1)
+
+    def stateless_access_cycles(self) -> Fraction:
+        return Fraction(self.spec.dram_latency)
+
+    def structure_access_cycles(self, structure: Optional[Structure]) -> Fraction:
+        return Fraction(self.spec.dram_latency)
+
+
+class RealisticModel(CycleModel):
+    """Simulated-testbed pricing with per-structure cache-hit assumptions.
+
+    Instructions amortise over the issue width; stateless accesses (packet
+    buffer, locals) hit the L1; an access inside structure *s* pays the
+    blend ``hit(s)·l1 + (1 − hit(s))·dram``.  Hit rates resolve per
+    instance name first, then per structure kind, then fall back to 0
+    (all-miss) — unknown structures are never given locality for free.
+
+    Args:
+        spec: machine parameters (defaults to :class:`HwSpec`).
+        hit_rates: overrides/extensions of :data:`DEFAULT_HIT_RATES`,
+            keyed by structure instance name or kind; values in [0, 1].
+    """
+
+    name = "realistic"
+
+    def __init__(
+        self,
+        spec: Optional[HwSpec] = None,
+        *,
+        hit_rates: Optional[Mapping[str, Union[float, Fraction]]] = None,
+    ) -> None:
+        super().__init__(spec)
+        rates: Dict[str, Fraction] = dict(DEFAULT_HIT_RATES)
+        for key, rate in (hit_rates or {}).items():
+            rates[key] = _as_fraction(rate)
+        for key, rate in rates.items():
+            if not 0 <= rate <= 1:
+                raise ValueError(f"hit rate for {key!r} must be in [0, 1], got {rate}")
+        self.hit_rates = rates
+
+    def hit_rate(self, structure: Optional[Structure]) -> Fraction:
+        """Resolve the cache-hit assumption for one structure."""
+        if structure is None:
+            return Fraction(0)
+        if structure.name in self.hit_rates:
+            return self.hit_rates[structure.name]
+        return self.hit_rates.get(structure.kind, Fraction(0))
+
+    def instruction_cycles(self) -> Fraction:
+        return Fraction(1, self.spec.issue_width)
+
+    def stateless_access_cycles(self) -> Fraction:
+        return Fraction(self.spec.l1_latency)
+
+    def structure_access_cycles(self, structure: Optional[Structure]) -> Fraction:
+        rate = self.hit_rate(structure)
+        return rate * self.spec.l1_latency + (1 - rate) * self.spec.dram_latency
+
+
+def spec_to_json(spec: HwSpec) -> Dict[str, object]:
+    """Serialise a spec for bench reports."""
+    return {
+        "name": spec.name,
+        "issue_width": spec.issue_width,
+        "l1_latency": spec.l1_latency,
+        "dram_latency": spec.dram_latency,
+    }
+
+
+def model_to_json(model: CycleModel) -> Dict[str, object]:
+    """Serialise a model's pricing policy for bench reports."""
+    payload: Dict[str, object] = {
+        "model": model.name,
+        "spec": spec_to_json(model.spec),
+        "cycles_per_instruction": str(model.instruction_cycles()),
+        "stateless_access_cycles": str(model.stateless_access_cycles()),
+    }
+    if isinstance(model, RealisticModel):
+        payload["hit_rates"] = {k: str(v) for k, v in sorted(model.hit_rates.items())}
+    return payload

@@ -9,10 +9,23 @@ contract generator.  Currently implemented:
 * :mod:`repro.nf.router` — a static LPM IPv4 router, backed by an
   :class:`~repro.structures.LpmTrie`.
 
+Shared replay glue lives in :mod:`repro.nf.replay` (the
+:class:`~repro.nf.replay.NFHarness` the traffic replayer drives) and the
+per-NF evaluation workloads — uniform, Zipf and provably-worst-case
+adversarial — in :mod:`repro.nf.workloads`.
+
 The paper's remaining NFs (NAT, Maglev-like load balancer, firewall) are
 tracked in ROADMAP.md.
 """
 
+from repro.nf.replay import NFHarness, replay_env
+from repro.nf.workloads import (
+    Workload,
+    bridge_harness,
+    bridge_workloads,
+    router_harness,
+    router_workloads,
+)
 from repro.nf.bridge import (
     bridge_replay_env,
     bridge_symbolic_inputs,
@@ -32,6 +45,9 @@ from repro.nf.router import (
 )
 
 __all__ = [
+    "NFHarness",
+    "Workload",
+    "bridge_harness",
     "bridge_replay_env",
     "bridge_symbolic_inputs",
     "build_bridge_module",
@@ -41,8 +57,12 @@ __all__ = [
     "generate_bridge_contract",
     "generate_router_contract",
     "ipv4_packet",
+    "bridge_workloads",
     "make_bridge_table",
     "make_routing_table",
+    "replay_env",
+    "router_harness",
     "router_replay_env",
     "router_symbolic_inputs",
+    "router_workloads",
 ]

@@ -1,4 +1,4 @@
-"""Shared glue for matching concrete executions back to symbolic paths.
+"""Shared glue for replaying concrete executions against contracts.
 
 Every NF replays the same way: the packet bytes map onto the ``pkt[i]``
 byte symbols of the symbolic initial state, the scalar inputs map onto
@@ -6,15 +6,25 @@ their parameter symbols, and each value-returning extern call maps onto
 the model-output symbol ``"{extern}#{index}"`` (the symbolic engine and
 the concrete tracer number extern calls identically).  NFs wrap this in a
 thin, NF-specific function naming their scalars.
+
+:class:`NFHarness` packages the replay convention into the object the
+:class:`repro.traffic.replayer.Replayer` drives: it owns the interpreter,
+writes each stimulus packet into NF memory, builds the argument list from
+the NF's declared scalar order, and reconstructs the replay environment
+that matches the execution back to a symbolic path.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional, Tuple
 
+from repro.nfil.interpreter import ExternHandler, Interpreter, Memory
+from repro.nfil.program import Module
 from repro.nfil.tracer import ExecutionTrace
+from repro.structures.base import Structure
+from repro.traffic.generators import Stimulus
 
-__all__ = ["replay_env"]
+__all__ = ["NFHarness", "replay_env"]
 
 
 def replay_env(
@@ -40,3 +50,70 @@ def replay_env(
         if call.result is not None:
             env[f"{call.name}#{call.index}"] = call.result
     return env
+
+
+class NFHarness:
+    """One NF wired for concrete replay: module, state, and input layout.
+
+    Args:
+        name: NF name used in replay results and bench reports.
+        module: the NF's (validated) NFIL module.
+        function: entry function to invoke per stimulus.
+        handler: the extern handler backing the NF's state (usually a
+            :class:`~repro.structures.base.Structure` or a merge of them).
+        structures: the structure instances behind ``handler`` — the
+            hardware models use them to attribute extern memory accesses.
+        pkt_base: address the packet buffer is written to.
+        sym_bytes: how many leading packet bytes were symbolic during
+            contract generation (the replay environment covers exactly
+            those).
+        scalar_order: the function's scalar parameters in call order,
+            following the packet pointer (e.g. ``("len", "in_port",
+            "time")``).  A stimulus that omits ``len`` gets the literal
+            packet length.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        module: Module,
+        function: str,
+        *,
+        handler: ExternHandler,
+        structures: Tuple[Structure, ...] = (),
+        pkt_base: int,
+        sym_bytes: int,
+        scalar_order: Tuple[str, ...] = ("len",),
+    ) -> None:
+        self.name = name
+        self.module = module
+        self.function = function
+        self.handler = handler
+        self.structures = structures
+        self.pkt_base = pkt_base
+        self.sym_bytes = sym_bytes
+        self.scalar_order = scalar_order
+        self._interpreter = Interpreter(module, handler=handler)
+
+    def scalars_for(self, stimulus: Stimulus) -> Dict[str, int]:
+        """Resolve the stimulus scalars, defaulting ``len`` to the buffer."""
+        scalars = dict(stimulus.scalars)
+        if "len" in self.scalar_order:
+            scalars.setdefault("len", len(stimulus.packet))
+        missing = [name for name in self.scalar_order if name not in scalars]
+        if missing:
+            raise KeyError(f"{self.name}: stimulus missing scalars {missing}")
+        return scalars
+
+    def run(self, stimulus: Stimulus) -> Tuple[Optional[int], ExecutionTrace]:
+        """Execute one stimulus against the live NF state."""
+        scalars = self.scalars_for(stimulus)
+        memory = Memory()
+        memory.write_bytes(self.pkt_base, stimulus.packet)
+        args = [self.pkt_base] + [scalars[name] for name in self.scalar_order]
+        return self._interpreter.run(self.function, args, memory=memory)
+
+    def env(self, stimulus: Stimulus, trace: ExecutionTrace) -> Dict[str, int]:
+        """Build the replay environment of one executed stimulus."""
+        scalars = self.scalars_for(stimulus)
+        return replay_env(stimulus.packet, self.sym_bytes, trace, **scalars)

@@ -43,6 +43,7 @@ from repro.nfil.program import Module
 from repro.nfil.tracer import ExecutionTrace
 from repro.nfil.validate import validate_module
 from repro.structures import NOT_FOUND, LpmTrie, StructureModel
+from repro.traffic.packets import ipv4_frame
 from repro.sym.expr import BV, Const, Sym
 from repro.sym.paths import Path
 from repro.sym.state import SymbolicMemory
@@ -232,16 +233,7 @@ def ipv4_packet(
     """Build a minimal Ethernet+IPv4 frame for tests and demos.
 
     ``dst`` is the destination address, either as a 32-bit int or as four
-    octets.  Only the fields the router reads are populated.
+    octets.  Kept as the historical per-NF entry point; the layout itself
+    lives in :func:`repro.traffic.packets.ipv4_frame`.
     """
-    if isinstance(dst, int):
-        octets = [(dst >> 24) & 0xFF, (dst >> 16) & 0xFF, (dst >> 8) & 0xFF, dst & 0xFF]
-    else:
-        octets = list(dst)
-        if len(octets) != 4:
-            raise ValueError("dst must be four octets")
-    frame = bytearray(MIN_IPV4_FRAME + payload)
-    frame[12], frame[13] = ethertype
-    frame[22] = ttl
-    frame[30:34] = bytes(octets)
-    return bytes(frame)
+    return ipv4_frame(dst, ttl=ttl, ethertype=ethertype, payload=payload)

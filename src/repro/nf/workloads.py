@@ -1,0 +1,323 @@
+"""Per-NF workloads: uniform, Zipf and provably-worst-case adversarial.
+
+The generic samplers live in :mod:`repro.traffic.generators`; this module
+supplies what only the NF can know — how to turn sampled keys into frames,
+and which input state drives each performance-critical variable to the
+maximum its registry declares.  Each factory returns a :class:`Workload`
+bundling a *fresh* harness (state is part of the workload: adversarial
+streams prime it deliberately), the stimulus list, and — for adversarial
+streams — the PCV values the replay must observe for the worst case to
+count as *hit*:
+
+* **bridge** — the adversarial stream learns ``capacity`` MACs that all
+  hash into one bucket of the MAC table (so a tail refresh inspects
+  ``t = capacity`` links), then jumps time past a full wheel revolution
+  (so one sweep advances ``w = wheel_slots`` slots and expires
+  ``e = capacity`` entries).  All three PCVs reach their registry bounds.
+* **router** — the adversarial FIB nests a route at every prefix length
+  1–32 along one address; routing that address visits ``d = 33`` trie
+  nodes, the maximum any IPv4 lookup can incur.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Tuple
+
+from repro.nf import bridge as bridge_nf
+from repro.nf import router as router_nf
+from repro.nf.replay import NFHarness
+from repro.structures import ChainingHashMap, LpmTrie
+from repro.structures.lpm import MAX_DEPTH
+from repro.traffic.generators import Stimulus, uniform_indices, zipf_indices
+from repro.traffic.packets import ethernet_frame, ipv4_frame, mac_bytes
+
+__all__ = [
+    "Workload",
+    "bridge_harness",
+    "bridge_workloads",
+    "colliding_mac_keys",
+    "router_fib_routes",
+    "router_harness",
+    "router_workloads",
+]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One named stimulus stream bound to a fresh NF harness."""
+
+    name: str
+    harness: NFHarness
+    stimuli: Tuple[Stimulus, ...]
+    #: For adversarial streams: PCV -> value the replay must observe
+    #: (each is that PCV's declared upper bound for the configured NF).
+    expected_worst: Mapping[str, int] = field(default_factory=dict)
+
+
+# --------------------------------------------------------------------------- #
+# Bridge
+# --------------------------------------------------------------------------- #
+def bridge_harness(capacity: int = 16, timeout: int = 50) -> NFHarness:
+    """A fresh MAC-learning bridge wired for replay."""
+    table = bridge_nf.make_bridge_table(capacity, timeout)
+    return NFHarness(
+        "bridge",
+        bridge_nf.build_bridge_module(),
+        bridge_nf.BRIDGE_FUNCTION,
+        handler=table,
+        structures=(table,),
+        pkt_base=bridge_nf.PKT_BASE,
+        sym_bytes=bridge_nf.PKT_SYM_BYTES,
+        scalar_order=("len", "in_port", "time"),
+    )
+
+
+def _bridge_mixed(
+    rng: random.Random,
+    indices: List[int],
+    macs: List[int],
+    *,
+    ports: int,
+    note: str,
+) -> List[Stimulus]:
+    """Turn sampled MAC indices into a frame mix covering every class."""
+    stimuli: List[Stimulus] = []
+    for n, index in enumerate(indices):
+        dst = macs[index]
+        src = macs[indices[(n * 7 + 3) % len(indices)]]
+        if n % 17 == 0:
+            packet = mac_bytes(dst)[: rng.randrange(0, 13)]  # truncated frame
+        else:
+            packet = ethernet_frame(dst, src)
+        stimuli.append(
+            Stimulus(
+                packet=packet,
+                scalars={"in_port": rng.randrange(ports), "time": n * 3},
+                note=note,
+            )
+        )
+    return stimuli
+
+
+def bridge_workloads(
+    *,
+    seed: int = 2019,
+    capacity: int = 16,
+    timeout: int = 50,
+    packets: int = 150,
+    population: int = 12,
+    ports: int = 4,
+) -> List[Workload]:
+    """The bridge's three evaluation workloads (fresh state per stream)."""
+    rng = random.Random(seed)
+    macs = [rng.randrange(1, 1 << 48) for _ in range(population)]
+    uniform = _bridge_mixed(
+        rng, uniform_indices(rng, population, packets), macs, ports=ports, note="uniform"
+    )
+    zipf = _bridge_mixed(
+        rng, zipf_indices(rng, population, packets), macs, ports=ports, note="zipf"
+    )
+    return [
+        Workload("uniform", bridge_harness(capacity, timeout), tuple(uniform)),
+        Workload("zipf", bridge_harness(capacity, timeout), tuple(zipf)),
+        bridge_adversarial(capacity=capacity, timeout=timeout),
+    ]
+
+
+def colliding_mac_keys(capacity: int) -> List[int]:
+    """Find ``capacity`` 48-bit keys that share one MAC-table bucket.
+
+    The bridge's table chains inside a :class:`ChainingHashMap` with
+    ``capacity`` buckets; keys sharing a bucket pile into one chain, so a
+    lookup of the chain's tail inspects ``capacity`` links — the declared
+    maximum of the PCV ``t``.
+    """
+    probe = ChainingHashMap("probe", capacity=capacity)
+    target = probe._hash(1)
+    keys: List[int] = []
+    candidate = 1
+    while len(keys) < capacity:
+        if probe._hash(candidate) == target:
+            keys.append(candidate)
+        candidate += 1
+        if candidate >= 1 << 48:  # pragma: no cover - defensive
+            raise RuntimeError("could not find enough colliding keys")
+    return keys
+
+
+def bridge_adversarial(*, capacity: int = 16, timeout: int = 50) -> Workload:
+    """The bridge worst-case stream: every PCV driven to its bound.
+
+    Phases (times chosen so nothing expires before the final sweep):
+
+    1. ``fill`` — learn ``capacity`` colliding source MACs (unknown
+       destination: each frame floods), building one maximal hash chain.
+    2. ``worst_t`` — a frame from the chain's *tail* MAC towards its
+       *head* MAC on another port: the learning ``put`` refreshes the
+       tail after inspecting ``t = capacity`` links, and the destination
+       is known elsewhere, so the frame is forwarded (class ``hit``).
+    3. ``worst_e`` — time jumps beyond a full wheel revolution past every
+       deadline: one sweep advances ``w = wheel_slots`` slots and expires
+       all ``e = capacity`` entries.
+    """
+    harness = bridge_harness(capacity, timeout)
+    table = harness.structures[0]
+    wheel_slots = table.wheel_slots
+    keys = colliding_mac_keys(capacity)
+    unknown = next(k for k in range(1, 1 << 16) if k not in set(keys))
+    stimuli: List[Stimulus] = []
+    for i, key in enumerate(keys):
+        stimuli.append(
+            Stimulus(
+                packet=ethernet_frame(unknown, key),
+                scalars={"in_port": 1, "time": i},
+                note="fill",
+            )
+        )
+    fill_end = len(keys) - 1
+    stimuli.append(
+        Stimulus(
+            packet=ethernet_frame(keys[0], keys[-1]),
+            scalars={"in_port": 2, "time": fill_end},
+            note="worst_t",
+        )
+    )
+    # Latest deadline: the tail refresh at fill_end + timeout.  Jumping
+    # past it by a full revolution makes the sweep advance wheel_slots
+    # slots and visit every deadline slot.
+    doom = fill_end + timeout + wheel_slots + 1
+    stimuli.append(
+        Stimulus(
+            packet=ethernet_frame(unknown, unknown + 1),
+            scalars={"in_port": 3, "time": doom},
+            note="worst_e",
+        )
+    )
+    return Workload(
+        "adversarial",
+        harness,
+        tuple(stimuli),
+        expected_worst={"t": capacity, "e": capacity, "w": wheel_slots},
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Router
+# --------------------------------------------------------------------------- #
+#: The address the adversarial route chain nests along.
+CHAIN_ADDRESS = 0x8A3B1CF5
+
+
+def router_fib_routes() -> List[Tuple[int, int, int]]:
+    """The bench FIB: ``(prefix, length, port)`` triples.
+
+    A route at *every* length 1–32 along :data:`CHAIN_ADDRESS` (the
+    adversarial chain) plus a few scattered shorter prefixes.  No default
+    route, so ``no_route`` traffic exists.
+    """
+    routes = [(CHAIN_ADDRESS, length, length % router_nf.MAX_PORTS) for length in range(1, 33)]
+    routes += [
+        (0x0A000000, 8, 40),  # 10.0.0.0/8
+        (0x0A140000, 16, 41),  # 10.20.0.0/16
+        (0x0A141E00, 24, 42),  # 10.20.30.0/24
+        (0x2C000000, 6, 43),  # 44.0.0.0/6
+    ]
+    return routes
+
+
+def router_harness(routes: List[Tuple[int, int, int]] | None = None) -> NFHarness:
+    """A fresh LPM router with the bench FIB installed."""
+    fib: LpmTrie = router_nf.make_routing_table()
+    for prefix, length, port in routes if routes is not None else router_fib_routes():
+        fib.add_route(prefix, length, port)
+    return NFHarness(
+        "router",
+        router_nf.build_router_module(),
+        router_nf.ROUTER_FUNCTION,
+        handler=fib,
+        structures=(fib,),
+        pkt_base=router_nf.PKT_BASE,
+        sym_bytes=router_nf.PKT_SYM_BYTES,
+        scalar_order=("len",),
+    )
+
+
+def _router_destinations() -> List[int]:
+    """Candidate destinations touching routed, nested and unrouted space."""
+    return [
+        CHAIN_ADDRESS,  # deepest possible match (/32)
+        CHAIN_ADDRESS ^ 0x1,  # walks deep, matches the /31
+        CHAIN_ADDRESS ^ 0xFF,  # matches a mid-length nested prefix
+        0x0A141E07,  # 10.20.30.7 -> /24
+        0x0A140101,  # 10.20.1.1  -> /16
+        0x0A636363,  # 10.99.99.99 -> /8
+        0x2D010203,  # 45.1.2.3 -> /6
+        0x7F000001,  # 127.0.0.1 -> no_route
+        0x01020304,  # 1.2.3.4 -> no_route
+    ]
+
+
+def _router_mixed(rng: random.Random, indices: List[int], *, note: str) -> List[Stimulus]:
+    """Turn sampled destination indices into a frame mix for all classes."""
+    destinations = _router_destinations()
+    stimuli: List[Stimulus] = []
+    for n, index in enumerate(indices):
+        dst = destinations[index % len(destinations)]
+        if n % 13 == 0:
+            packet = ipv4_frame(dst)[: rng.randrange(0, 34)]  # truncated frame
+        elif n % 11 == 0:
+            packet = ipv4_frame(dst, ethertype=(0x86, 0xDD))  # IPv6: dropped
+        elif n % 7 == 0:
+            packet = ipv4_frame(dst, ttl=1)  # TTL expires here
+        else:
+            packet = ipv4_frame(dst, ttl=1 + rng.randrange(1, 255))
+        stimuli.append(Stimulus(packet=packet, note=note))
+    return stimuli
+
+
+def router_workloads(*, seed: int = 2019, packets: int = 150) -> List[Workload]:
+    """The router's three evaluation workloads (fresh FIB per stream)."""
+    rng = random.Random(seed)
+    population = len(_router_destinations())
+    uniform = _router_mixed(rng, uniform_indices(rng, population, packets), note="uniform")
+    zipf = _router_mixed(rng, zipf_indices(rng, population, packets), note="zipf")
+    return [
+        Workload("uniform", router_harness(), tuple(uniform)),
+        Workload("zipf", router_harness(), tuple(zipf)),
+        router_adversarial(),
+    ]
+
+
+def router_adversarial() -> Workload:
+    """The router worst-case stream: the deepest walk an IPv4 lookup allows.
+
+    The FIB nests a route at every length 1–32 along
+    :data:`CHAIN_ADDRESS`; routing that exact address visits the root
+    plus one node per bit — ``d = 33``, the registry bound of ``d``.
+    """
+    stimuli = [
+        Stimulus(packet=ipv4_frame(CHAIN_ADDRESS), note="worst_d"),
+        Stimulus(packet=ipv4_frame(CHAIN_ADDRESS ^ 0x1), note="deep_sibling"),
+        Stimulus(packet=ipv4_frame(0x7F000001), note="no_route"),
+        Stimulus(packet=ipv4_frame(CHAIN_ADDRESS, ttl=1), note="ttl"),
+        Stimulus(packet=ipv4_frame(CHAIN_ADDRESS)[:10], note="short"),
+    ]
+    return Workload(
+        "adversarial",
+        router_harness(),
+        tuple(stimuli),
+        expected_worst={"d": MAX_DEPTH},
+    )
+
+
+def worst_case_report(
+    result_max_pcvs: Mapping[str, int], expected: Mapping[str, int]
+) -> Dict[str, Dict[str, object]]:
+    """Compare observed PCV maxima against the promised worst case."""
+    report: Dict[str, Dict[str, object]] = {}
+    for pcv, bound in expected.items():
+        observed = result_max_pcvs.get(pcv, 0)
+        report[pcv] = {"observed": observed, "bound": bound, "hit": observed >= bound}
+    return report

@@ -1,8 +1,9 @@
 """Common machinery of the Vigor-style stateful structure library.
 
 The paper's NFs are all assembled from a small library of verified stateful
-data structures; every structure in :mod:`repro.structures` ships the three
-artefacts the BOLT pipeline needs:
+data structures whose performance the analysis takes on contract rather
+than re-deriving (§3.2); every structure in :mod:`repro.structures` ships
+the three artefacts the BOLT pipeline needs:
 
 1. a **concrete instrumented implementation** — the structure is an
    :class:`repro.nfil.interpreter.ExternHandler` whose handlers report the

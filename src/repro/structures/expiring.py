@@ -1,6 +1,8 @@
 """Expiring map: a chaining hash map with time-wheel expiry.
 
-The structure behind every learning/flow table in the paper's NFs: entries
+The structure behind every learning/flow table in the paper's NFs (the
+bridge's MAC table of Table 4, VigNAT's flow table — whose expiry term
+``e`` drives the §5.3 batching finding): entries
 are inserted (or refreshed) with a deadline ``now + timeout`` and an
 ``expire(now)`` sweep removes the ones whose deadline passed.  Deadlines are
 indexed in a **time wheel** — a ring of ``wheel_slots`` buckets, one per

@@ -3,7 +3,8 @@
 Keys hash into a fixed array of buckets; colliding entries chain off the
 bucket as a linked list.  Every operation's cost is linear in the number of
 chain links it inspects, which is exactly the PCV ``t`` the paper's bridge
-and NAT contracts are written over.
+and NAT contracts are written over (§2.2, Table 4; the hash-table
+traversal bound shows up throughout the §5 evaluation).
 
 Hand-derived per-operation contract (PCV ``t`` = chain links inspected):
 

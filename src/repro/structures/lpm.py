@@ -4,7 +4,8 @@ A binary trie: each level tests one address bit (most significant first),
 and a lookup walks from the root remembering the value of the deepest node
 that carries one.  The cost of a lookup is linear in the number of trie
 nodes visited — the PCV ``d``, bounded by 33 (the root plus one node per
-address bit), which is the paper's "prefix depth" PCV for LPM routers.
+address bit), which is the paper's "prefix depth" PCV for LPM routers
+(§2.2: PCVs may describe coarse input properties, not just state).
 
 Route insertion is *configuration* (control plane), not a per-packet
 operation, so only ``lookup`` is exposed as an extern; ``add_route`` is a

@@ -1,5 +1,8 @@
 """Bolt cross-validation of the hand-derived structure contracts.
 
+The paper trusts the library's contracts the way Vigor trusts its proofs
+(§3.2); this module earns that trust mechanically instead.
+
 Each structure in the library promises a hand-derived per-operation cost
 (:meth:`repro.structures.base.Structure.operation_contract`).  This module
 closes the loop: for every operation it synthesises a one-call NFIL driver,

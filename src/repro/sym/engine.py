@@ -7,11 +7,13 @@ conservative — keeps any side the solver cannot *prove* infeasible
 (UNKNOWN counts as feasible, so contracts never silently drop a path).
 
 Calls to externs (the stateful data-structure methods) are not executed;
-they are abstracted by a :class:`SymbolicModel`.  The default model havocs:
-it returns a fresh symbol named ``"{extern}#{call index}"`` and charges no
-cost.  Real models (e.g. the bridge's hash-table model in
-:mod:`repro.nf.bridge`) additionally constrain the output and charge a
-PCV-parameterised cost per metric, which BOLT folds into the contract.
+they are abstracted by a :class:`SymbolicModel` (§3.2: the library's
+contracts stand in for its code).  The default model havocs: it returns a
+fresh symbol named ``"{extern}#{call index}"`` and charges no cost.  Real
+models — :class:`repro.structures.StructureModel` over any set of library
+structures — additionally constrain the output and charge the
+PCV-parameterised cost the structure's operation contract promises, which
+BOLT folds into the generated contract.
 """
 
 from __future__ import annotations

@@ -1,5 +1,9 @@
 """Bit-vector expression language used by the symbolic-execution engine.
 
+The paper's BOLT symbolically executes the stateless NF code over
+bit-vector expressions (§3.1); this module is the reproduction's stand-in
+for the KLEE expression layer the prototype builds on.
+
 Expressions are immutable trees of fixed-width unsigned bit-vectors.  A
 width of 1 doubles as the boolean type (0 = false, 1 = true), which keeps
 the machinery small without losing anything the NF code needs.

@@ -2,7 +2,8 @@
 
 The smart constructors in :mod:`repro.sym.expr` already fold constants; this
 module adds whole-tree rewriting (useful after substituting a model back
-into an expression) and symbol substitution, which the solver relies on for
+into an expression) and symbol substitution, which the solver (§3.3 of the
+paper: path-feasibility checking and witness generation) relies on for
 unit propagation and search-space pruning.
 """
 

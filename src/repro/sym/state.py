@@ -1,5 +1,8 @@
 """Symbolic machine state: registers, byte-addressable memory, path condition.
 
+One :class:`SymbolicState` is one partial execution of the stateless NF
+code during BOLT's path exploration (§3.1 of the paper).
+
 The state mirrors the concrete interpreter's machine model exactly — 64-bit
 registers, little-endian byte-addressable memory, a frame stack for internal
 calls — except that every value is a :class:`repro.sym.expr.BV` expression

@@ -1,0 +1,49 @@
+"""Traffic workloads and the measured-vs-predicted replay harness (§5).
+
+The evaluation half of the reproduction: packet construction helpers
+(:mod:`repro.traffic.packets`), deterministic uniform/Zipf key samplers
+(:mod:`repro.traffic.generators`) and the MoonGen-role
+:class:`~repro.traffic.replayer.Replayer`, which drives an NF through the
+concrete interpreter/tracer and checks every execution — counts and
+model-derived cycles — against its performance contract.
+
+Adversarial worst-case streams are NF-specific and live in
+:mod:`repro.nf.workloads`.
+"""
+
+from repro.traffic.generators import Stimulus, uniform_indices, zipf_indices, zipf_weights
+from repro.traffic.packets import (
+    ETHERNET_HEADER,
+    ETHERTYPE_IPV4,
+    IPV4_MIN_FRAME,
+    ethernet_frame,
+    ipv4_address,
+    ipv4_frame,
+    mac_bytes,
+)
+from repro.traffic.replayer import (
+    ClassSummary,
+    NFTarget,
+    PacketOutcome,
+    Replayer,
+    ReplayResult,
+)
+
+__all__ = [
+    "ClassSummary",
+    "ETHERNET_HEADER",
+    "ETHERTYPE_IPV4",
+    "IPV4_MIN_FRAME",
+    "NFTarget",
+    "PacketOutcome",
+    "ReplayResult",
+    "Replayer",
+    "Stimulus",
+    "ethernet_frame",
+    "ipv4_address",
+    "ipv4_frame",
+    "mac_bytes",
+    "uniform_indices",
+    "zipf_indices",
+    "zipf_weights",
+]

@@ -1,0 +1,277 @@
+"""The MoonGen-role replayer: measured-vs-predicted curves per workload.
+
+The paper validates contracts by replaying traffic through the
+instrumented NF and checking every execution against the prediction of
+the contract entry it falls into (§3.2, §5).  :class:`Replayer` automates
+that loop over a stimulus stream:
+
+1. run the stimulus through the NF harness (concrete interpreter + tracer),
+2. match the trace back to a contract entry (via the replay environment),
+3. evaluate the entry at the observed PCVs → predicted instruction and
+   memory counts, and through each :class:`~repro.hw.CycleModel` →
+   predicted cycles,
+4. price the trace under the same models → "measured" cycles,
+5. record any violation of measured ≤ predicted.
+
+The result aggregates per input class and renders as the
+measured-vs-predicted table ``python -m repro.cli bench`` prints, and
+serialises to the ``BENCH_*.json`` schema CI archives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, Iterable, List, Mapping, Optional, Protocol, Sequence, Tuple
+
+from repro.core.contract import Metric, PerformanceContract
+from repro.core.perfexpr import PerfExpr
+from repro.core.report import format_table
+from repro.hw.model import CycleModel
+from repro.nfil.tracer import ExecutionTrace
+from repro.structures.base import Structure
+from repro.traffic.generators import Stimulus
+
+__all__ = ["ClassSummary", "NFTarget", "PacketOutcome", "Replayer", "ReplayResult"]
+
+
+class NFTarget(Protocol):
+    """What the replayer needs from an NF harness.
+
+    :class:`repro.nf.replay.NFHarness` is the canonical implementation.
+    """
+
+    name: str
+    structures: Tuple[Structure, ...]
+
+    def run(self, stimulus: Stimulus) -> Tuple[Optional[int], ExecutionTrace]:
+        """Execute one stimulus; return (NF return value, trace)."""
+        ...
+
+    def env(self, stimulus: Stimulus, trace: ExecutionTrace) -> Dict[str, int]:
+        """Build the symbol assignment the execution corresponds to."""
+        ...
+
+
+@dataclass(frozen=True)
+class PacketOutcome:
+    """Measured-vs-predicted record of one replayed stimulus."""
+
+    index: int
+    note: str
+    class_name: Optional[str]
+    pcvs: Mapping[str, int]
+    measured: Mapping[Metric, int]
+    predicted: Mapping[Metric, int]
+    #: model name -> (measured cycles, predicted cycles)
+    cycles: Mapping[str, Tuple[Fraction, Fraction]]
+    violations: Tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+@dataclass
+class ClassSummary:
+    """Aggregate over every packet that fell into one input class."""
+
+    class_name: str
+    packets: int = 0
+    max_measured: Dict[Metric, int] = field(default_factory=dict)
+    max_predicted: Dict[Metric, int] = field(default_factory=dict)
+    max_cycles: Dict[str, Tuple[Fraction, Fraction]] = field(default_factory=dict)
+    violations: int = 0
+
+    def absorb(self, outcome: PacketOutcome) -> None:
+        self.packets += 1
+        if not outcome.ok:
+            self.violations += 1
+        for metric, value in outcome.measured.items():
+            self.max_measured[metric] = max(self.max_measured.get(metric, 0), value)
+        for metric, value in outcome.predicted.items():
+            self.max_predicted[metric] = max(self.max_predicted.get(metric, 0), value)
+        for model, (measured, predicted) in outcome.cycles.items():
+            prev = self.max_cycles.get(model, (Fraction(0), Fraction(0)))
+            self.max_cycles[model] = (max(prev[0], measured), max(prev[1], predicted))
+
+
+@dataclass
+class ReplayResult:
+    """Everything one workload replay produced."""
+
+    nf_name: str
+    workload: str
+    outcomes: List[PacketOutcome]
+    summaries: Dict[str, ClassSummary]
+    #: Largest observation of each PCV across the whole workload.
+    max_pcvs: Dict[str, int]
+    #: Worst-case cycle envelopes per model (PCV bounds, all entries).
+    envelopes: Dict[str, Fraction]
+
+    @property
+    def packets(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def violations(self) -> List[str]:
+        return [message for outcome in self.outcomes for message in outcome.violations]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def classes_seen(self) -> List[str]:
+        return sorted(self.summaries)
+
+    def table(self) -> str:
+        """Render the per-class measured-vs-predicted summary table."""
+        models = sorted({model for s in self.summaries.values() for model in s.max_cycles})
+        headers = ["input class", "packets", "instr max meas≤pred", "mem max meas≤pred"]
+        headers += [f"{model} cycles" for model in models]
+        rows: List[List[str]] = []
+        for name in sorted(self.summaries):
+            summary = self.summaries[name]
+            row = [name, str(summary.packets)]
+            for metric in (Metric.INSTRUCTIONS, Metric.MEMORY_ACCESSES):
+                row.append(
+                    f"{summary.max_measured.get(metric, 0)} ≤ "
+                    f"{summary.max_predicted.get(metric, 0)}"
+                )
+            for model in models:
+                measured, predicted = summary.max_cycles.get(model, (Fraction(0), Fraction(0)))
+                row.append(f"{float(measured):.0f} ≤ {float(predicted):.0f}")
+            rows.append(row)
+        title = f"{self.nf_name} / {self.workload}: {self.packets} packets, "
+        title += "no violations" if self.ok else f"{len(self.violations)} VIOLATIONS"
+        return title + "\n" + format_table(headers, rows)
+
+    def to_json(self) -> Dict[str, object]:
+        """Serialise for the ``BENCH_*.json`` report."""
+        classes: Dict[str, object] = {}
+        for name, summary in self.summaries.items():
+            classes[name] = {
+                "packets": summary.packets,
+                "violations": summary.violations,
+                "max_measured": {str(m): v for m, v in summary.max_measured.items()},
+                "max_predicted": {str(m): v for m, v in summary.max_predicted.items()},
+                "max_cycles": {
+                    model: {"measured": float(meas), "predicted": float(pred)}
+                    for model, (meas, pred) in summary.max_cycles.items()
+                },
+            }
+        return {
+            "packets": self.packets,
+            "ok": self.ok,
+            "violations": self.violations[:20],
+            "classes": classes,
+            "max_pcvs": dict(self.max_pcvs),
+            "cycle_envelopes": {model: float(v) for model, v in self.envelopes.items()},
+        }
+
+
+class Replayer:
+    """Replays workloads through an NF and scores them against its contract.
+
+    Args:
+        harness: the NF under test (module + instrumented state + glue).
+        contract: the generated contract predictions are read from.
+        models: hardware models to derive/price cycles with; counts are
+            always checked even with no models.
+    """
+
+    def __init__(
+        self,
+        harness: NFTarget,
+        contract: PerformanceContract,
+        *,
+        models: Sequence[CycleModel] = (),
+    ) -> None:
+        self.harness = harness
+        self.contract = contract
+        self.models = tuple(models)
+        # Entries charge PCVs their path never observed at zero.
+        self._zero_pcvs = {name: 0 for name in contract.variables()}
+        # Harness, contract and models are fixed here, so derive each
+        # entry's cycle expression (and the worst-case envelopes) once
+        # instead of rebuilding them for every replayed packet.
+        structures = tuple(harness.structures)
+        self._cycle_exprs: Dict[str, Dict[str, PerfExpr]] = {
+            model.name: {
+                entry.input_class.name: model.cycles_expr(entry, structures=structures)
+                for entry in contract.entries
+            }
+            for model in self.models
+        }
+        self._envelopes: Dict[str, Fraction] = {
+            model.name: model.envelope(contract, structures=structures)
+            for model in self.models
+        }
+
+    def replay(self, stimuli: Iterable[Stimulus], *, workload: str = "workload") -> ReplayResult:
+        """Run every stimulus; never raises on a violation — records it."""
+        structures = tuple(self.harness.structures)
+        outcomes: List[PacketOutcome] = []
+        summaries: Dict[str, ClassSummary] = {}
+        max_pcvs: Dict[str, int] = dict(self._zero_pcvs)
+        for index, stimulus in enumerate(stimuli):
+            _, trace = self.harness.run(stimulus)
+            env = self.harness.env(stimulus, trace)
+            entry = self.contract.classify(env)
+            violations: List[str] = []
+            measured: Dict[Metric, int] = {
+                Metric.INSTRUCTIONS: trace.total_instructions(),
+                Metric.MEMORY_ACCESSES: trace.total_memory_accesses(),
+            }
+            predicted: Dict[Metric, int] = {}
+            cycles: Dict[str, Tuple[Fraction, Fraction]] = {}
+            observed = trace.pcv_bindings()
+            for name, value in observed.items():
+                max_pcvs[name] = max(max_pcvs.get(name, 0), value)
+            if entry is None:
+                violations.append(f"packet {index}: no contract entry covers the execution")
+                class_name = None
+            else:
+                class_name = entry.input_class.name
+                bindings = dict(self._zero_pcvs)
+                bindings.update(observed)
+                for metric in (Metric.INSTRUCTIONS, Metric.MEMORY_ACCESSES):
+                    predicted[metric] = entry.evaluate(metric, bindings)
+                    if measured[metric] > predicted[metric]:
+                        violations.append(
+                            f"packet {index} ({class_name}): measured {metric} "
+                            f"{measured[metric]} exceeds predicted {predicted[metric]}"
+                        )
+                for model in self.models:
+                    measured_cycles = model.measure(trace, structures=structures)
+                    predicted_cycles = self._cycle_exprs[model.name][class_name].evaluate(
+                        bindings
+                    )
+                    cycles[model.name] = (measured_cycles, predicted_cycles)
+                    if measured_cycles > predicted_cycles:
+                        violations.append(
+                            f"packet {index} ({class_name}): {model.name} measured "
+                            f"{float(measured_cycles):.1f} cycles exceeds predicted "
+                            f"{float(predicted_cycles):.1f}"
+                        )
+            outcome = PacketOutcome(
+                index=index,
+                note=stimulus.note,
+                class_name=class_name,
+                pcvs=observed,
+                measured=measured,
+                predicted=predicted,
+                cycles=cycles,
+                violations=tuple(violations),
+            )
+            outcomes.append(outcome)
+            key = class_name if class_name is not None else "<unclassified>"
+            summaries.setdefault(key, ClassSummary(key)).absorb(outcome)
+        return ReplayResult(
+            nf_name=self.harness.name,
+            workload=workload,
+            outcomes=outcomes,
+            summaries=summaries,
+            max_pcvs=max_pcvs,
+            envelopes=dict(self._envelopes),
+        )

@@ -1,0 +1,59 @@
+"""The evaluation bench: `python -m repro.cli bench` end to end."""
+
+import json
+
+from repro import cli
+
+
+def test_bench_writes_a_green_report(tmp_path, capsys):
+    output = tmp_path / "BENCH_eval.json"
+    code = cli.main(["bench", "--output", str(output), "--packets", "60"])
+    assert code == 0
+    printed = capsys.readouterr().out
+    assert "BENCH OK" in printed
+    assert "adversarial worst case" in printed
+
+    report = json.loads(output.read_text())
+    assert report["schema"] == "repro-bench/1"
+    assert report["ok"] is True
+    assert set(report["nfs"]) == {"bridge", "router"}
+    assert set(report["hw_models"]) == {"conservative", "realistic"}
+    for nf, record in report["nfs"].items():
+        assert record["failures"] == 0
+        assert set(record["workloads"]) == {"uniform", "zipf", "adversarial"}
+        for name, workload in record["workloads"].items():
+            assert workload["ok"] is True, (nf, name)
+            assert workload["violations"] == []
+            for summary in workload["classes"].values():
+                for model, cycles in summary["max_cycles"].items():
+                    assert cycles["measured"] <= cycles["predicted"], (nf, name, model)
+        worst = record["workloads"]["adversarial"]["worst_case"]
+        assert worst and all(check["hit"] for check in worst.values())
+    # The bridge adversarial stream pins every PCV to its bound.
+    bridge_worst = report["nfs"]["bridge"]["workloads"]["adversarial"]["worst_case"]
+    assert {pcv: check["observed"] for pcv, check in bridge_worst.items()} == {
+        "t": 16,
+        "e": 16,
+        "w": 51,
+    }
+    assert report["nfs"]["router"]["workloads"]["adversarial"]["worst_case"]["d"]["observed"] == 33
+
+
+def test_bench_report_envelopes_dominate_measurements(tmp_path):
+    output = tmp_path / "BENCH_eval.json"
+    assert cli.main(["bench", "--output", str(output), "--packets", "40"]) == 0
+    report = json.loads(output.read_text())
+    for record in report["nfs"].values():
+        for workload in record["workloads"].values():
+            envelopes = workload["cycle_envelopes"]
+            for summary in workload["classes"].values():
+                for model, cycles in summary["max_cycles"].items():
+                    assert cycles["measured"] <= envelopes[model]
+
+
+def test_cli_default_is_smoke(monkeypatch):
+    called = {}
+    monkeypatch.setattr(cli, "run_smoke", lambda: called.setdefault("smoke", 0))
+    assert cli.main([]) == 0
+    assert cli.main(["smoke"]) == 0
+    assert "smoke" in called

@@ -1,0 +1,107 @@
+"""Direct coverage for the Distiller (previously only exercised end-to-end)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import (
+    ContractEntry,
+    Distiller,
+    InputClass,
+    Metric,
+    PerfExpr,
+    PerformanceContract,
+)
+from repro.core.pcv import PCV, PCVRegistry
+from repro.hw import ConservativeModel, HwSpec
+from repro.nf.bridge import generate_bridge_contract
+
+
+def _contract(exprs_by_class):
+    registry = PCVRegistry(
+        [
+            PCV("t", "traversals", max_value=10),
+            PCV("e", "expired entries", max_value=4),
+        ]
+    )
+    contract = PerformanceContract("toy_nf", registry=registry)
+    for name, expr in exprs_by_class.items():
+        contract.add_entry(
+            ContractEntry(input_class=InputClass(name), exprs={Metric.INSTRUCTIONS: expr})
+        )
+    return contract
+
+
+def test_threshold_validation():
+    contract = _contract({"all": PerfExpr.from_terms(t=1)})
+    with pytest.raises(ValueError):
+        Distiller(contract).distill(relative_threshold=1.0)
+    with pytest.raises(ValueError):
+        Distiller(contract).distill(relative_threshold=-0.1)
+
+
+def test_small_terms_are_dropped():
+    # Worst case: 1000·10 from t, 1 from the constant -> const is noise.
+    contract = _contract({"all": PerfExpr.from_terms(t=1000, const=1)})
+    report = Distiller(contract).distill(relative_threshold=0.05)
+    entry = report.entry_for("all")
+    assert entry.simplified == PerfExpr.from_terms(t=1000)
+    assert entry.original == PerfExpr.from_terms(t=1000, const=1)
+    assert 0 < entry.dropped_share < Fraction(1, 100)
+    assert "% dropped" in entry.render()
+
+
+def test_at_least_the_largest_term_survives():
+    contract = _contract({"all": PerfExpr.from_terms(t=1, e=30)})
+    # e's worst case (120) dominates t's (10); an extreme threshold keeps
+    # only the single largest contribution.
+    report = Distiller(contract).distill(relative_threshold=0.99)
+    entry = report.entry_for("all")
+    assert entry.simplified == PerfExpr.from_terms(e=30)
+    assert entry.dropped_share == Fraction(10, 130)
+
+
+def test_zero_expression_distils_to_itself():
+    contract = _contract({"all": PerfExpr.zero()})
+    entry = Distiller(contract).distill().entry_for("all")
+    assert entry.simplified == PerfExpr.zero()
+    assert entry.dropped_share == 0
+    assert entry.dominant_pcv is None
+
+
+def test_dominant_pcv_and_report_rendering():
+    contract = _contract(
+        {
+            "fast": PerfExpr.from_terms(t=2, const=9),
+            "slow": PerfExpr.from_terms(t=2, e=50, const=9),
+        }
+    )
+    report = Distiller(contract).distill()
+    assert report.entry_for("fast").dominant_pcv == "t"
+    assert report.entry_for("slow").dominant_pcv == "e"
+    text = report.render()
+    assert "toy_nf" in text and "fast:" in text and "[dominant: e]" in text
+    with pytest.raises(KeyError):
+        report.entry_for("missing")
+
+
+def test_explicit_bounds_override_registry_bounds():
+    contract = _contract({"all": PerfExpr.from_terms(t=1, e=1)})
+    # With e's bound forced tiny, the e term becomes droppable noise.
+    report = Distiller(contract).distill(
+        relative_threshold=0.2, bounds={"t": 100, "e": 1}
+    )
+    assert report.entry_for("all").simplified == PerfExpr.from_terms(t=1)
+
+
+def test_distill_cycles_through_a_hardware_model():
+    contract = generate_bridge_contract(16, 50)
+    model = ConservativeModel(HwSpec())
+    report = Distiller(contract).distill_cycles(model)
+    assert report.metric is Metric.CYCLES
+    assert set(e.class_name for e in report.entries) == {"short", "miss", "hairpin", "hit"}
+    # Cycle expressions dominate the instruction expressions they derive from.
+    for entry in report.entries:
+        source = contract.entry_for(entry.class_name).expr(Metric.INSTRUCTIONS)
+        for monomial, coeff in source.terms.items():
+            assert entry.original.terms[monomial] >= coeff

@@ -1,0 +1,77 @@
+"""Direct coverage for contract/table rendering in core.report."""
+
+import pytest
+
+from repro.core import (
+    ContractEntry,
+    InputClass,
+    Metric,
+    PerfExpr,
+    PerformanceContract,
+    format_contract,
+    format_table,
+)
+from repro.core.pcv import PCV, PCVRegistry
+from repro.hw import ConservativeModel
+from repro.nf.bridge import generate_bridge_contract
+
+
+def test_format_table_alignment():
+    text = format_table(["name", "value"], [["a", "1"], ["longer", "22"]])
+    lines = text.splitlines()
+    assert lines[0].startswith("name")
+    assert set(lines[1]) <= {"-", " "}
+    # Every row is padded to the same column start.
+    assert lines[2].index("1") == lines[3].index("2") == lines[0].index("value")
+
+
+def test_format_table_rejects_ragged_rows():
+    with pytest.raises(ValueError):
+        format_table(["a", "b"], [["only-one-cell"]])
+
+
+def test_format_table_with_no_rows_keeps_headers():
+    text = format_table(["x", "y"], [])
+    assert text.splitlines()[0].rstrip() == "x  y"
+
+
+def test_format_contract_lists_pcv_descriptions_and_columns():
+    registry = PCVRegistry([PCV("t", "chain links inspected", max_value=8)])
+    contract = PerformanceContract("toy", registry=registry)
+    contract.add_entry(
+        ContractEntry(
+            input_class=InputClass("all"),
+            exprs={
+                Metric.INSTRUCTIONS: PerfExpr.from_terms(t=6, const=5),
+                Metric.MEMORY_ACCESSES: PerfExpr.from_terms(t=2),
+            },
+        )
+    )
+    text = format_contract(contract)
+    assert "performance contract for toy" in text
+    assert "t: chain links inspected" in text
+    assert "instructions" in text and "memory_accesses" in text
+    # No entry carries cycles, so no cycles column is rendered.
+    assert "cycles" not in text
+    assert "6·t + 5" in text
+
+
+def test_format_contract_empty_contract_shows_all_metric_headers():
+    contract = PerformanceContract("empty")
+    text = format_contract(contract)
+    for metric in Metric:
+        assert str(metric) in text
+
+
+def test_derived_contract_renders_a_cycles_column():
+    contract = generate_bridge_contract(16, 50)
+    derived = ConservativeModel().derive(contract)
+    text = derived.render()
+    header = next(line for line in text.splitlines() if line.startswith("input class"))
+    assert "cycles" in header and "instructions" in header
+    assert "bridge_process@conservative" in text
+
+
+def test_contract_str_uses_the_report_renderer():
+    contract = PerformanceContract("toy")
+    assert str(contract) == format_contract(contract)
