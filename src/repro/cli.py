@@ -9,12 +9,12 @@
 
 ``python -m repro.cli bench``
     Closes the evaluation loop (§5 of the paper): replays uniform, Zipf
-    and adversarial workloads through both NFs, derives cycle predictions
-    under the conservative and realistic hardware models, asserts
-    **measured ≤ predicted on every packet** (counts and cycles), checks
-    that the adversarial streams actually drive the PCVs to their
-    declared bounds, and writes the whole record to a ``BENCH_*.json``
-    CI archives as an artifact.
+    and adversarial workloads through all three NFs (bridge, router,
+    NAT), derives cycle predictions under the conservative and realistic
+    hardware models, asserts **measured ≤ predicted on every packet**
+    (counts and cycles), checks that the adversarial streams actually
+    drive every instance-qualified PCV to its declared bound, and writes
+    the whole record to a ``BENCH_*.json`` CI archives as an artifact.
 
 Both commands print section by section as output is produced, so even a
 crash mid-run leaves the already-validated tables in the job log, and exit
@@ -33,10 +33,12 @@ import repro.structures as structures_pkg
 from repro.core import Distiller
 from repro.hw import ConservativeModel, CycleModel, RealisticModel, model_to_json
 from repro.nf.bridge import generate_bridge_contract
+from repro.nf.nat import generate_nat_contract
 from repro.nf.router import generate_router_contract
 from repro.nf.workloads import (
     Workload,
     bridge_workloads,
+    nat_workloads,
     router_workloads,
     worst_case_report,
 )
@@ -44,6 +46,7 @@ from repro.structures import (
     ChainingHashMap,
     ExpiringMap,
     LpmTrie,
+    PortAllocator,
     Structure,
     StructureContractError,
     validate_structure_contract,
@@ -53,6 +56,15 @@ from repro.traffic import Replayer
 #: Input classes each NF contract must keep covering.
 EXPECTED_BRIDGE_CLASSES = {"short", "miss", "hairpin", "hit"}
 EXPECTED_ROUTER_CLASSES = {"short", "non_ip", "ttl_expired", "no_route", "routed"}
+EXPECTED_NAT_CLASSES = {
+    "short",
+    "non_ip",
+    "internal_new",
+    "internal_existing",
+    "no_ports",
+    "external_hit",
+    "external_miss",
+}
 
 #: Bench defaults: bridge table geometry and per-workload packet budget.
 BENCH_CAPACITY = 16
@@ -76,6 +88,7 @@ def run_structure_validation() -> int:
         ChainingHashMap("flow_map", capacity=64, value_bound=64),
         ExpiringMap("mac_table", capacity=64, timeout=300, value_bound=64),
         LpmTrie("fib", value_bound=64),
+        PortAllocator("nat_ports", pool=range(49152, 49216)),
     ]
     # Guard against a structure being added to the library but forgotten
     # here: every exported Structure subclass must be smoke-validated.
@@ -114,6 +127,7 @@ def run_nf_contracts() -> int:
     for title, generate, expected in (
         ("NF: MAC learning bridge", generate_bridge_contract, EXPECTED_BRIDGE_CLASSES),
         ("NF: static LPM router", generate_router_contract, EXPECTED_ROUTER_CLASSES),
+        ("NF: VigNAT-style NAT", generate_nat_contract, EXPECTED_NAT_CLASSES),
     ):
         _section(title)
         contract = generate()
@@ -231,6 +245,20 @@ def run_bench(
     )
     failures += int(record["failures"])  # type: ignore[arg-type]
     report["nfs"]["router"] = record  # type: ignore[index]
+
+    _section("bench: VigNAT-style NAT")
+    nat_contract = generate_nat_contract(BENCH_CAPACITY, BENCH_TIMEOUT)
+    record = _bench_nf(
+        "nat",
+        nat_contract,
+        nat_workloads(
+            seed=seed, capacity=BENCH_CAPACITY, timeout=BENCH_TIMEOUT, packets=packets
+        ),
+        models,
+        EXPECTED_NAT_CLASSES,
+    )
+    failures += int(record["failures"])  # type: ignore[arg-type]
+    report["nfs"]["nat"] = record  # type: ignore[index]
 
     report["ok"] = failures == 0
     with open(output, "w", encoding="utf-8") as handle:

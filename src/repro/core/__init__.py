@@ -12,7 +12,7 @@ The sub-modules mirror the structure of the paper:
 * :mod:`repro.core.report` — human-readable rendering of contracts.
 """
 
-from repro.core.pcv import PCV, PCVRegistry
+from repro.core.pcv import PCV, PCVRegistry, qualify_name, split_name
 from repro.core.perfexpr import PerfExpr
 from repro.core.contract import ContractEntry, PerformanceContract, Metric, upper_envelope
 from repro.core.input_class import InputClass
@@ -37,5 +37,7 @@ __all__ = [
     "format_contract",
     "format_table",
     "naive_add_contracts",
+    "qualify_name",
+    "split_name",
     "upper_envelope",
 ]

@@ -9,12 +9,51 @@ PCVs are the variables in which performance contracts are expressed.  The
 paper's bridge contract (Table 4), for instance, is written over the PCVs
 ``e`` (expired MAC entries), ``c`` (hash collisions), ``t`` (bucket
 traversals) and ``o`` (hash-table occupancy).
+
+PCV names come in two forms:
+
+* **local symbols** — a bare identifier such as ``t``, the form a structure
+  *kind* documents its cost formulas in;
+* **instance-qualified names** — ``{instance}.{symbol}`` such as ``fwd.t``
+  vs ``rev.t``, the form every :class:`repro.structures.base.Structure`
+  *instance* actually emits.  Qualification is what lets one NF use two
+  instances of the same structure kind (a NAT's forward and reverse flow
+  tables) without their PCVs aliasing in the contract.
+
+:func:`qualify_name` / :func:`split_name` convert between the two forms.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, Mapping, Optional
+import re
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple
+
+_SYMBOL_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+def qualify_name(instance: str, symbol: str) -> str:
+    """Return the instance-qualified PCV name ``{instance}.{symbol}``.
+
+    Raises:
+        ValueError: either part is not a bare identifier (in particular,
+            ``symbol`` must not already be qualified).
+    """
+    for part in (instance, symbol):
+        if not _SYMBOL_RE.match(part):
+            raise ValueError(
+                f"PCV name part {part!r} must be an identifier "
+                "(letters, digits and underscores, not starting with a digit)"
+            )
+    return f"{instance}.{symbol}"
+
+
+def split_name(name: str) -> Tuple[Optional[str], str]:
+    """Split a PCV name into ``(instance or None, local symbol)``."""
+    instance, dot, symbol = name.rpartition(".")
+    if not dot:
+        return None, name
+    return instance, symbol
 
 
 @dataclass(frozen=True)
@@ -22,7 +61,8 @@ class PCV:
     """A single performance-critical variable.
 
     Attributes:
-        name: short symbol used inside performance expressions (``"e"``).
+        name: symbol used inside performance expressions — a local symbol
+            (``"e"``) or an instance-qualified name (``"fwd.e"``).
         description: human-readable meaning ("number of expired flows").
         structure: name of the data structure (or library routine) whose
             contract introduced the PCV, if any.
@@ -40,12 +80,38 @@ class PCV:
     unit: str = ""
 
     def __post_init__(self) -> None:
-        if not self.name or not self.name.replace("_", "").isalnum():
-            raise ValueError(f"invalid PCV name: {self.name!r}")
+        instance, symbol = split_name(self.name)
+        parts = (symbol,) if instance is None else (instance, symbol)
+        if not all(_SYMBOL_RE.match(part) for part in parts):
+            raise ValueError(
+                f"invalid PCV name: {self.name!r} (expected an identifier or "
+                "'instance.symbol', each part using letters, digits and underscores)"
+            )
         if self.max_value is not None and self.max_value < self.min_value:
             raise ValueError(
                 f"PCV {self.name}: max_value {self.max_value} < min_value {self.min_value}"
             )
+
+    @property
+    def instance(self) -> Optional[str]:
+        """The owning instance of a qualified name (``None`` when local)."""
+        return split_name(self.name)[0]
+
+    @property
+    def symbol(self) -> str:
+        """The local symbol of the PCV (``"t"`` for both ``t`` and ``fwd.t``)."""
+        return split_name(self.name)[1]
+
+    def qualify(self, instance: str) -> "PCV":
+        """Return a copy of this PCV namespaced under ``instance``.
+
+        The copy's name becomes ``{instance}.{symbol}`` and its
+        ``structure`` field records the owning instance.  Qualifying an
+        already-qualified PCV re-homes it under the new instance.
+        """
+        return replace(
+            self, name=qualify_name(instance, self.symbol), structure=instance
+        )
 
     def bounded(self) -> bool:
         """Return True when the PCV has a known finite upper bound."""

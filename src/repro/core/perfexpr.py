@@ -24,7 +24,9 @@ from typing import Dict, Iterable, Mapping, Tuple, Union
 Number = Union[int, float, Fraction]
 Monomial = Tuple[str, ...]
 
-_TERM_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+# A PCV name: a bare identifier ("t") or an instance-qualified one
+# ("fwd.t") — the form per-instance namespaced structures emit.
+_TERM_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*(\.[A-Za-z_][A-Za-z0-9_]*)?$")
 
 
 def _as_fraction(value: Number) -> Fraction:
@@ -204,6 +206,35 @@ class PerfExpr:
         """Evaluate and round up to an integer (costs are counts)."""
         value = self.evaluate(bindings)
         return int(-(-value.numerator // value.denominator))  # ceil
+
+    def rename(self, mapping: Mapping[str, str]) -> "PerfExpr":
+        """Return the expression with PCV names replaced per ``mapping``.
+
+        Names absent from ``mapping`` are kept.  This is how a
+        :class:`~repro.structures.base.Structure` instance turns its
+        kind-level cost formulas (over local symbols like ``t``) into the
+        instance-qualified form (``fwd.t``) its contract emits.
+
+        Raises:
+            ValueError: the renaming is not injective over the
+                expression's variables — two previously-independent PCVs
+                would silently merge (into one variable, or a power
+                inside a product monomial).
+        """
+        targets: Dict[str, str] = {}
+        for name in self.variables():
+            target = mapping.get(name, name)
+            if target in targets and targets[target] != name:
+                raise ValueError(
+                    f"renaming {dict(mapping)!r} collapses distinct PCVs "
+                    f"{targets[target]!r} and {name!r} into {target!r}"
+                )
+            targets[target] = name
+        terms: Dict[Monomial, Fraction] = {}
+        for monomial, coeff in self._terms.items():
+            mono = tuple(sorted(mapping.get(name, name) for name in monomial))
+            terms[mono] = terms.get(mono, Fraction(0)) + coeff
+        return PerfExpr(terms)
 
     def substitute(self, bindings: Mapping[str, Number]) -> "PerfExpr":
         """Partially substitute PCVs with concrete values.

@@ -2,20 +2,28 @@
 
 Each NF module provides the stateless NFIL code, a factory for the
 :mod:`repro.structures` instances backing its state, and a one-call
-contract generator.  Currently implemented:
+contract generator; its module docstring states the NF's input classes,
+its (instance-qualified) PCVs, and the workload that provably drives them
+to their bounds.  Currently implemented:
 
 * :mod:`repro.nf.bridge` — the MAC learning bridge (paper Table 4), backed
-  by an :class:`~repro.structures.ExpiringMap`.
+  by an :class:`~repro.structures.ExpiringMap` (PCVs ``bridge_map.t`` /
+  ``bridge_map.w`` / ``bridge_map.e``).
 * :mod:`repro.nf.router` — a static LPM IPv4 router, backed by an
-  :class:`~repro.structures.LpmTrie`.
+  :class:`~repro.structures.LpmTrie` (PCV ``rt.d``).
+* :mod:`repro.nf.nat` — a VigNAT-style NAT, backed by **two**
+  :class:`~repro.structures.ExpiringMap` instances plus a
+  :class:`~repro.structures.PortAllocator` (PCVs ``fwd.*`` and ``rev.*``)
+  — the multi-instance NF that per-instance PCV namespacing exists for.
 
 Shared replay glue lives in :mod:`repro.nf.replay` (the
 :class:`~repro.nf.replay.NFHarness` the traffic replayer drives) and the
 per-NF evaluation workloads — uniform, Zipf and provably-worst-case
 adversarial — in :mod:`repro.nf.workloads`.
 
-The paper's remaining NFs (NAT, Maglev-like load balancer, firewall) are
-tracked in ROADMAP.md.
+The paper's remaining NFs (Maglev-like load balancer, firewall with
+connection tracking) are tracked in ROADMAP.md; docs/NF_AUTHORING.md is
+the step-by-step guide to adding one.
 """
 
 from repro.nf.replay import NFHarness, replay_env
@@ -23,6 +31,8 @@ from repro.nf.workloads import (
     Workload,
     bridge_harness,
     bridge_workloads,
+    nat_harness,
+    nat_workloads,
     router_harness,
     router_workloads,
 )
@@ -33,6 +43,14 @@ from repro.nf.bridge import (
     classify_bridge_path,
     generate_bridge_contract,
     make_bridge_table,
+)
+from repro.nf.nat import (
+    build_nat_module,
+    classify_nat_path,
+    generate_nat_contract,
+    make_nat_tables,
+    nat_replay_env,
+    nat_symbolic_inputs,
 )
 from repro.nf.router import (
     build_router_module,
@@ -50,16 +68,24 @@ __all__ = [
     "bridge_harness",
     "bridge_replay_env",
     "bridge_symbolic_inputs",
+    "bridge_workloads",
     "build_bridge_module",
+    "build_nat_module",
     "build_router_module",
     "classify_bridge_path",
+    "classify_nat_path",
     "classify_router_path",
     "generate_bridge_contract",
+    "generate_nat_contract",
     "generate_router_contract",
     "ipv4_packet",
-    "bridge_workloads",
     "make_bridge_table",
+    "make_nat_tables",
     "make_routing_table",
+    "nat_harness",
+    "nat_replay_env",
+    "nat_symbolic_inputs",
+    "nat_workloads",
     "replay_env",
     "router_harness",
     "router_replay_env",

@@ -21,6 +21,16 @@ Input classes of the generated contract:
 ``hairpin`` destination learned on the ingress port: dropped
 ``hit``     destination known on another port: forwarded
 ==========  ==========================================================
+
+PCVs (instance-qualified under the table's name, ``bridge_map``):
+``bridge_map.t`` chain links inspected (bound: table capacity),
+``bridge_map.w`` wheel slots advanced and ``bridge_map.e`` entries
+expired by one sweep (bounds: ``wheel_slots`` / capacity).
+
+Worst-case workload: :func:`repro.nf.workloads.bridge_adversarial` —
+``capacity`` colliding MACs build one maximal chain (pins
+``bridge_map.t``), then a full-revolution time jump expires everything in
+one sweep (pins ``bridge_map.w`` and ``bridge_map.e``).
 """
 
 from __future__ import annotations

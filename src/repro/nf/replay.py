@@ -21,7 +21,7 @@ from typing import Dict, Optional, Tuple
 from repro.nfil.interpreter import ExternHandler, Interpreter, Memory
 from repro.nfil.program import Module
 from repro.nfil.tracer import ExecutionTrace
-from repro.structures.base import Structure
+from repro.structures.base import Structure, check_extern_collisions
 from repro.traffic.generators import Stimulus
 
 __all__ = ["NFHarness", "replay_env"]
@@ -89,6 +89,9 @@ class NFHarness:
         self.module = module
         self.function = function
         self.handler = handler
+        # Refuse ambiguous extern manglings up front (`a_b`+`c` vs `a`+`b_c`):
+        # a collision here would cross-wire cost attribution silently.
+        check_extern_collisions(structures)
         self.structures = structures
         self.pkt_base = pkt_base
         self.sym_bytes = sym_bytes

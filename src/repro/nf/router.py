@@ -27,6 +27,13 @@ Input classes of the generated contract:
 ``no_route``     no prefix covers the destination: dropped
 ``routed``       longest-prefix match found: forwarded
 ===============  ====================================================
+
+PCV (instance-qualified under the FIB's name, ``rt``): ``rt.d``, the
+trie nodes visited by one lookup, bounded by 33 (root + one per bit).
+
+Worst-case workload: :func:`repro.nf.workloads.router_adversarial` — the
+FIB nests a route at every prefix length 1–32 along one address, and
+routing that address pins ``rt.d`` to 33.
 """
 
 from __future__ import annotations

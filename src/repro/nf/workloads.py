@@ -6,38 +6,54 @@ and which input state drives each performance-critical variable to the
 maximum its registry declares.  Each factory returns a :class:`Workload`
 bundling a *fresh* harness (state is part of the workload: adversarial
 streams prime it deliberately), the stimulus list, and — for adversarial
-streams — the PCV values the replay must observe for the worst case to
-count as *hit*:
+streams — the instance-qualified PCV values the replay must observe for
+the worst case to count as *hit*:
 
 * **bridge** — the adversarial stream learns ``capacity`` MACs that all
   hash into one bucket of the MAC table (so a tail refresh inspects
-  ``t = capacity`` links), then jumps time past a full wheel revolution
-  (so one sweep advances ``w = wheel_slots`` slots and expires
-  ``e = capacity`` entries).  All three PCVs reach their registry bounds.
+  ``bridge_map.t = capacity`` links), then jumps time past a full wheel
+  revolution (so one sweep advances ``bridge_map.w = wheel_slots`` slots
+  and expires ``bridge_map.e = capacity`` entries).  All three PCVs reach
+  their registry bounds.
 * **router** — the adversarial FIB nests a route at every prefix length
-  1–32 along one address; routing that address visits ``d = 33`` trie
+  1–32 along one address; routing that address visits ``rt.d = 33`` trie
   nodes, the maximum any IPv4 lookup can incur.
+* **NAT** — the adversarial stream pins *both* flow tables at once:
+  colliding internal flow keys build a maximal forward chain
+  (``fwd.t = capacity``), a crafted port pool whose leases collide in the
+  reverse table builds a maximal reverse chain (``rev.t = capacity``), a
+  brand-new flow against the exhausted pool exercises ``no_ports``, and
+  one full-revolution time jump expires both tables in one sweep
+  (``fwd.w = rev.w = wheel_slots``, ``fwd.e = rev.e = capacity``).  The
+  two ``t`` bounds being separately observable is exactly what
+  per-instance PCV namespacing buys.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.nf import bridge as bridge_nf
+from repro.nf import nat as nat_nf
 from repro.nf import router as router_nf
 from repro.nf.replay import NFHarness
+from repro.nfil.interpreter import ExternHandler
 from repro.structures import ChainingHashMap, LpmTrie
 from repro.structures.lpm import MAX_DEPTH
 from repro.traffic.generators import Stimulus, uniform_indices, zipf_indices
-from repro.traffic.packets import ethernet_frame, ipv4_frame, mac_bytes
+from repro.traffic.packets import ethernet_frame, ipv4_frame, mac_bytes, nat_frame
 
 __all__ = [
     "Workload",
     "bridge_harness",
     "bridge_workloads",
+    "colliding_keys",
     "colliding_mac_keys",
+    "colliding_ports",
+    "nat_harness",
+    "nat_workloads",
     "router_fib_routes",
     "router_harness",
     "router_workloads",
@@ -51,8 +67,9 @@ class Workload:
     name: str
     harness: NFHarness
     stimuli: Tuple[Stimulus, ...]
-    #: For adversarial streams: PCV -> value the replay must observe
-    #: (each is that PCV's declared upper bound for the configured NF).
+    #: For adversarial streams: instance-qualified PCV name -> value the
+    #: replay must observe (each is that PCV's declared upper bound for
+    #: the configured NF), e.g. ``{"fwd.t": 16, "rev.t": 16}``.
     expected_worst: Mapping[str, int] = field(default_factory=dict)
 
 
@@ -126,25 +143,48 @@ def bridge_workloads(
     ]
 
 
+def colliding_keys(
+    count: int, *, buckets: int, start: int = 1, stop: int = 1 << 48
+) -> List[int]:
+    """Find ``count`` keys in ``[start, stop)`` sharing one hash bucket.
+
+    Keys sharing a bucket of a :class:`ChainingHashMap` pile into one
+    chain, so an operation on the chain's tail inspects ``count`` links —
+    the lever every map-based adversarial stream uses to pin an
+    instance's ``t`` PCV to its declared bound.
+    """
+    probe = ChainingHashMap("probe", capacity=max(count, 1), buckets=buckets)
+    target = probe._hash(start)
+    keys: List[int] = []
+    candidate = start
+    while len(keys) < count:
+        if probe._hash(candidate) == target:
+            keys.append(candidate)
+        candidate += 1
+        if candidate >= stop:  # pragma: no cover - defensive
+            raise RuntimeError("could not find enough colliding keys")
+    return keys
+
+
 def colliding_mac_keys(capacity: int) -> List[int]:
     """Find ``capacity`` 48-bit keys that share one MAC-table bucket.
 
     The bridge's table chains inside a :class:`ChainingHashMap` with
-    ``capacity`` buckets; keys sharing a bucket pile into one chain, so a
-    lookup of the chain's tail inspects ``capacity`` links — the declared
-    maximum of the PCV ``t``.
+    ``capacity`` buckets, so these keys build a single maximal chain and a
+    tail lookup inspects ``capacity`` links — the declared maximum of the
+    table's ``t`` PCV.
     """
-    probe = ChainingHashMap("probe", capacity=capacity)
-    target = probe._hash(1)
-    keys: List[int] = []
-    candidate = 1
-    while len(keys) < capacity:
-        if probe._hash(candidate) == target:
-            keys.append(candidate)
-        candidate += 1
-        if candidate >= 1 << 48:  # pragma: no cover - defensive
-            raise RuntimeError("could not find enough colliding keys")
-    return keys
+    return colliding_keys(capacity, buckets=capacity)
+
+
+def colliding_ports(capacity: int, *, start: int = 1024) -> List[int]:
+    """Find ``capacity`` 16-bit ports that share one reverse-table bucket.
+
+    Used as the NAT's adversarial lease pool: every leased port chains
+    into one bucket of the reverse flow table, so refreshing the last
+    lease inspects ``capacity`` links (``rev.t`` at its bound).
+    """
+    return colliding_keys(capacity, buckets=capacity, start=start, stop=1 << 16)
 
 
 def bridge_adversarial(*, capacity: int = 16, timeout: int = 50) -> Workload:
@@ -199,7 +239,11 @@ def bridge_adversarial(*, capacity: int = 16, timeout: int = 50) -> Workload:
         "adversarial",
         harness,
         tuple(stimuli),
-        expected_worst={"t": capacity, "e": capacity, "w": wheel_slots},
+        expected_worst={
+            table.pcv_name("t"): capacity,
+            table.pcv_name("e"): capacity,
+            table.pcv_name("w"): wheel_slots,
+        },
     )
 
 
@@ -304,11 +348,205 @@ def router_adversarial() -> Workload:
         Stimulus(packet=ipv4_frame(CHAIN_ADDRESS, ttl=1), note="ttl"),
         Stimulus(packet=ipv4_frame(CHAIN_ADDRESS)[:10], note="short"),
     ]
+    harness = router_harness()
+    fib = harness.structures[0]
     return Workload(
         "adversarial",
-        router_harness(),
+        harness,
         tuple(stimuli),
-        expected_worst={"d": MAX_DEPTH},
+        expected_worst={fib.pcv_name("d"): MAX_DEPTH},
+    )
+
+
+# --------------------------------------------------------------------------- #
+# NAT
+# --------------------------------------------------------------------------- #
+#: Fixed WAN-side endpoints of the bench NAT traffic (TEST-NET addresses).
+WAN_SERVER = 0xC6336401  # 198.51.100.1, the server internal flows talk to
+WAN_CLIENT = 0xCB007163  # 203.0.113.99, the client probing leased ports
+NAT_PUBLIC = 0xCB007101  # 203.0.113.1, the NAT's public address
+
+
+def nat_harness(
+    capacity: int = 16,
+    timeout: int = 50,
+    *,
+    pool: Optional[Iterable[int]] = None,
+) -> NFHarness:
+    """A fresh VigNAT-style NAT wired for replay.
+
+    The handler merges the three structure instances (forward table,
+    reverse table, port allocator) into one dispatch table — the merge
+    (and :class:`NFHarness` itself) rejects ambiguous extern manglings.
+    """
+    fwd, rev, ports = nat_nf.make_nat_tables(capacity, timeout, pool=pool)
+    handler = ExternHandler().merge(fwd).merge(rev).merge(ports)
+    return NFHarness(
+        "nat",
+        nat_nf.build_nat_module(),
+        nat_nf.NAT_FUNCTION,
+        handler=handler,
+        structures=(fwd, rev, ports),
+        pkt_base=nat_nf.PKT_BASE,
+        sym_bytes=nat_nf.PKT_SYM_BYTES,
+        scalar_order=("len", "in_port", "time"),
+    )
+
+
+def _nat_mixed(
+    rng: random.Random,
+    indices: List[int],
+    flows: List[Tuple[int, int]],
+    *,
+    pool_ports: List[int],
+    note: str,
+) -> List[Stimulus]:
+    """Turn sampled flow indices into a frame mix covering every class.
+
+    Most frames are LAN→WAN traffic from the sampled flow (new or
+    existing); every 17th is truncated (``short``), every 11th carries a
+    non-IPv4 EtherType (``non_ip``), and every 5th is WAN→LAN probing a
+    pool port (``external_hit`` once the lease exists, ``external_miss``
+    before or after it).
+    """
+    stimuli: List[Stimulus] = []
+    for n, index in enumerate(indices):
+        src_ip, src_port = flows[index]
+        scalars = {"in_port": nat_nf.LAN_PORT, "time": n * 3}
+        if n % 17 == 0:
+            packet = nat_frame(src_ip, src_port, WAN_SERVER, 80)[: rng.randrange(0, 37)]
+        elif n % 11 == 0:
+            packet = nat_frame(src_ip, src_port, WAN_SERVER, 80, ethertype=(0x86, 0xDD))
+        elif n % 5 == 0:
+            packet = nat_frame(
+                WAN_CLIENT, 443, NAT_PUBLIC, pool_ports[index % len(pool_ports)]
+            )
+            scalars["in_port"] = 1 + rng.randrange(3)
+        else:
+            packet = nat_frame(src_ip, src_port, WAN_SERVER, 80)
+        stimuli.append(Stimulus(packet=packet, scalars=scalars, note=note))
+    return stimuli
+
+
+def nat_workloads(
+    *,
+    seed: int = 2019,
+    capacity: int = 16,
+    timeout: int = 50,
+    packets: int = 150,
+    population: int = 12,
+) -> List[Workload]:
+    """The NAT's three evaluation workloads (fresh state per stream).
+
+    The uniform/Zipf pool holds ``4 * capacity`` sequential ports from
+    :data:`repro.nf.nat.PORT_BASE`: leases are never released back (the
+    allocator is a lease-for-bench-lifetime pool), so expired flows that
+    return consume fresh ports — the head-heavy Zipf stream can genuinely
+    run the pool dry, exercising ``no_ports`` under realistic traffic.
+    """
+    rng = random.Random(seed)
+    flows = [
+        (rng.randrange(1 << 32), rng.randrange(1024, 1 << 16)) for _ in range(population)
+    ]
+    pool = list(range(nat_nf.PORT_BASE, nat_nf.PORT_BASE + 4 * capacity))
+    uniform = _nat_mixed(
+        rng, uniform_indices(rng, population, packets), flows, pool_ports=pool, note="uniform"
+    )
+    zipf = _nat_mixed(
+        rng, zipf_indices(rng, population, packets), flows, pool_ports=pool, note="zipf"
+    )
+    return [
+        Workload("uniform", nat_harness(capacity, timeout, pool=pool), tuple(uniform)),
+        Workload("zipf", nat_harness(capacity, timeout, pool=pool), tuple(zipf)),
+        nat_adversarial(capacity=capacity, timeout=timeout),
+    ]
+
+
+def nat_adversarial(*, capacity: int = 16, timeout: int = 50) -> Workload:
+    """The NAT worst-case stream: both instances' PCVs driven to bound.
+
+    Phases (times chosen so nothing expires before the final sweep):
+
+    1. ``fill`` — ``capacity`` internal flows whose keys collide in the
+       forward table are established; the allocator's pool is crafted so
+       the leased ports *also* collide in the reverse table.  Both tables
+       end up holding one maximal chain each, and the pool is exhausted.
+    2. ``worst_t`` — a frame from the *last* established flow: the lookup
+       and refresh walk ``fwd.t = capacity`` links, and refreshing its
+       lease (the last port inserted) walks ``rev.t = capacity`` links —
+       both ``t`` bounds pinned by one packet, separately observable only
+       because the PCVs are instance-qualified.
+    3. ``no_ports`` — a brand-new flow finds the pool exhausted: dropped.
+    4. ``external_hit`` — a WAN frame to the first lease: rewritten and
+       forwarded.
+    5. ``worst_e`` — time jumps beyond a full wheel revolution past every
+       deadline: one sweep advances ``wheel_slots`` slots and expires all
+       ``capacity`` entries in *each* table (``fwd.w``/``fwd.e`` and
+       ``rev.w``/``rev.e`` at their bounds); the frame itself probes an
+       unleased port and is dropped (``external_miss``).
+    """
+    pool = colliding_ports(capacity)
+    harness = nat_harness(capacity, timeout, pool=pool)
+    fwd, rev, _ = harness.structures
+    wheel_slots = fwd.wheel_slots
+    flows = colliding_keys(capacity, buckets=capacity)
+    flow_set = set(flows)
+    stimuli: List[Stimulus] = []
+    for i, key in enumerate(flows):
+        stimuli.append(
+            Stimulus(
+                packet=nat_frame(key >> 16, key & 0xFFFF, WAN_SERVER, 80),
+                scalars={"in_port": nat_nf.LAN_PORT, "time": i},
+                note="fill",
+            )
+        )
+    tail = flows[-1]
+    stimuli.append(
+        Stimulus(
+            packet=nat_frame(tail >> 16, tail & 0xFFFF, WAN_SERVER, 80),
+            scalars={"in_port": nat_nf.LAN_PORT, "time": capacity},
+            note="worst_t",
+        )
+    )
+    fresh = next(k for k in range(1, 1 << 16) if k not in flow_set)
+    stimuli.append(
+        Stimulus(
+            packet=nat_frame(fresh >> 16, fresh & 0xFFFF, WAN_SERVER, 80),
+            scalars={"in_port": nat_nf.LAN_PORT, "time": capacity},
+            note="no_ports",
+        )
+    )
+    stimuli.append(
+        Stimulus(
+            packet=nat_frame(WAN_CLIENT, 443, NAT_PUBLIC, pool[0]),
+            scalars={"in_port": 1, "time": capacity},
+            note="external_hit",
+        )
+    )
+    # Latest deadline: the refreshes at time `capacity` plus the timeout.
+    # Jumping past it by a full revolution makes each table's sweep
+    # advance wheel_slots slots and visit every deadline slot.
+    doom = capacity + timeout + wheel_slots + 1
+    unleased = next(p for p in range(1, 1 << 16) if p not in set(pool))
+    stimuli.append(
+        Stimulus(
+            packet=nat_frame(WAN_CLIENT, 443, NAT_PUBLIC, unleased),
+            scalars={"in_port": 1, "time": doom},
+            note="worst_e",
+        )
+    )
+    return Workload(
+        "adversarial",
+        harness,
+        tuple(stimuli),
+        expected_worst={
+            fwd.pcv_name("t"): capacity,
+            fwd.pcv_name("e"): capacity,
+            fwd.pcv_name("w"): wheel_slots,
+            rev.pcv_name("t"): capacity,
+            rev.pcv_name("e"): capacity,
+            rev.pcv_name("w"): wheel_slots,
+        },
     )
 
 

@@ -17,6 +17,13 @@ Structures:
   time-wheel expiry (PCVs ``w``/``e``/``t``); backs the MAC bridge.
 * :class:`~repro.structures.lpm.LpmTrie` — longest-prefix-match trie over
   IPv4 addresses (PCV ``d``, trie depth); backs the LPM router.
+* :class:`~repro.structures.portalloc.PortAllocator` — constant-time port
+  lease pool (no PCVs); backs the NAT's external-port allocation.
+
+Structure *kinds* document their cost formulas over local PCV symbols;
+every *instance* emits them instance-qualified (``fwd.t`` vs ``rev.t``),
+so an NF may compose several instances of the same kind — the NAT's
+forward and reverse flow tables — without PCV aliasing.
 """
 
 from repro.structures.base import (
@@ -25,11 +32,13 @@ from repro.structures.base import (
     Structure,
     StructureModel,
     bounded_value_constraint,
+    check_extern_collisions,
     linear_cost,
 )
 from repro.structures.expiring import ExpiringMap
 from repro.structures.hashmap import ChainingHashMap
 from repro.structures.lpm import LpmTrie
+from repro.structures.portalloc import PortAllocator
 from repro.structures.validation import (
     OperationCheck,
     StructureContractError,
@@ -44,11 +53,13 @@ __all__ = [
     "LpmTrie",
     "OpSpec",
     "OperationCheck",
+    "PortAllocator",
     "Structure",
     "StructureContractError",
     "StructureModel",
     "bolt_operation_contract",
     "bounded_value_constraint",
+    "check_extern_collisions",
     "linear_cost",
     "validate_structure_contract",
 ]

@@ -24,6 +24,17 @@ The cost formulas live in each structure's :class:`OpSpec` table and are the
 *single source of truth*: the symbolic model charges them verbatim, the
 concrete handlers charge at most them (some fast paths charge slightly
 less), and the hand contract is assembled from them.
+
+**Per-instance PCV namespacing.**  A structure *kind* documents its cost
+formulas over local PCV symbols (``t``, ``w``, ``e``); a structure
+*instance* emits them under instance-qualified names
+(``{instance}.{symbol}``, e.g. ``fwd.t`` vs ``rev.t`` for a NAT's two flow
+tables).  The base class performs the qualification in one place
+(:meth:`Structure.qualify_spec` / :meth:`Structure.pcv_name`), so the
+symbolic model's charges, the concrete handlers' reported PCV
+observations, the hand contract and the PCV registry all agree on the
+qualified form — and two instances of the same kind inside one NF can
+never alias each other's PCVs, contract columns or adversarial bounds.
 """
 
 from __future__ import annotations
@@ -31,9 +42,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional, Sequence, Tuple
 
+import re
+
 from repro.core.contract import ContractEntry, Metric, PerformanceContract
 from repro.core.input_class import InputClass
-from repro.core.pcv import PCV, PCVRegistry
+from repro.core.pcv import PCV, PCVRegistry, qualify_name
 from repro.core.perfexpr import PerfExpr
 from repro.nfil.interpreter import ExternHandler, ExternResult
 from repro.nfil.program import ExternDecl, Module
@@ -48,11 +61,20 @@ __all__ = [
     "Structure",
     "StructureModel",
     "bounded_value_constraint",
+    "check_extern_collisions",
     "linear_cost",
 ]
 
 #: Sentinel returned by lookup-style operations for absent keys.
 NOT_FOUND = (1 << 64) - 1
+
+#: Allowed shape of a structure instance name (also the rule quoted by the
+#: validation error, so users learn it from the message).  Matches the PCV
+#: name-part rule in :mod:`repro.core.pcv` exactly — a looser rule here
+#: would let a structure construct and then crash on its first PCV use.
+#: Dots are reserved as the PCV namespace separator.
+_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+NAME_CHARSET = "letters, digits and underscores, not starting with a digit"
 
 
 @dataclass(frozen=True)
@@ -94,10 +116,10 @@ class Structure(ExternHandler):
     """Base class of every stateful structure in the library.
 
     A subclass defines its operation table via :meth:`ops`, implements one
-    ``_op_{method}(args, memory)`` handler per operation, and provides its
-    PCV registry through :meth:`registry`.  The base class derives extern
-    declarations, the per-operation contract, and the handler registrations
-    from that table.
+    ``_op_{method}(args, memory)`` handler per operation, and declares its
+    PCVs (as *local* symbols) through :meth:`pcvs`.  The base class derives
+    extern declarations, the per-operation contract, the instance-qualified
+    PCV registry, and the handler registrations from those tables.
     """
 
     #: What kind of structure this is (e.g. ``"chaining_hash_map"``).
@@ -105,12 +127,22 @@ class Structure(ExternHandler):
 
     def __init__(self, name: str) -> None:
         super().__init__()
-        if not name or not name.replace("_", "").isalnum():
-            raise ValueError(f"invalid structure instance name: {name!r}")
+        if not name or not _NAME_RE.match(name):
+            raise ValueError(
+                f"invalid structure instance name: {name!r} "
+                f"(allowed characters: {NAME_CHARSET})"
+            )
         self.name = name
         # Snapshot the op table once: op() sits on the hot concrete replay
         # path (every charge() resolves its spec).
         self._ops_by_method: Dict[str, OpSpec] = {op.method: op for op in self.ops()}
+        # Qualified names are also resolved per extern call; precompute them
+        # for every symbol the op table uses.
+        self._qualified: Dict[str, str] = {
+            symbol: qualify_name(name, symbol)
+            for op in self._ops_by_method.values()
+            for symbol in op.pcvs
+        }
         for op in self._ops_by_method.values():
             handler = getattr(self, f"_op_{op.method}", None)
             if handler is None:
@@ -122,12 +154,21 @@ class Structure(ExternHandler):
 
     # -- the operation table (overridden by subclasses) ------------------ #
     def ops(self) -> Sequence[OpSpec]:
-        """Return the operation table of the structure."""
+        """Return the operation table of the structure (local PCV symbols)."""
+        raise NotImplementedError
+
+    def pcvs(self) -> Sequence[PCV]:
+        """Return the structure's PCVs as *local* symbols with instance bounds."""
         raise NotImplementedError
 
     def registry(self) -> PCVRegistry:
-        """Return the PCVs (with instance-specific bounds) of the structure."""
-        raise NotImplementedError
+        """Return the instance-qualified PCV registry of the structure.
+
+        Every PCV of :meth:`pcvs` is namespaced as
+        ``{instance}.{symbol}``, so two instances of the same kind expose
+        disjoint registries.
+        """
+        return PCVRegistry(pcv.qualify(self.name) for pcv in self.pcvs())
 
     def result_constraints(self, method: str, result: BV, args: Tuple[BV, ...]) -> Tuple[BV, ...]:
         """Symbolic assumptions about the output of a value-returning op.
@@ -142,8 +183,36 @@ class Structure(ExternHandler):
         """Return the extern symbol of one method of this instance."""
         return f"{self.name}_{method}"
 
+    def pcv_name(self, symbol: str) -> str:
+        """Return the instance-qualified name of a local PCV symbol."""
+        cached = self._qualified.get(symbol)
+        if cached is not None:
+            return cached
+        return qualify_name(self.name, symbol)
+
+    def qualify_spec(self, op: OpSpec) -> OpSpec:
+        """Return ``op`` rewritten over this instance's qualified PCVs.
+
+        The cost formulas' variables and the spec's PCV tuple are renamed
+        from local symbols (``t``) to instance-qualified names
+        (``{instance}.t``); everything else is kept verbatim.
+        """
+        mapping = {symbol: self.pcv_name(symbol) for symbol in op.pcvs}
+        return OpSpec(
+            method=op.method,
+            arity=op.arity,
+            returns_value=op.returns_value,
+            cost={metric: expr.rename(mapping) for metric, expr in op.cost.items()},
+            pcvs=tuple(mapping[symbol] for symbol in op.pcvs),
+            description=op.description,
+        )
+
     def op(self, method: str) -> OpSpec:
-        """Return the spec of the named operation (as snapshot at init)."""
+        """Return the spec of the named operation (as snapshot at init).
+
+        The returned spec is in *local* form; :meth:`qualify_spec` turns it
+        into the instance-qualified form the contract surface emits.
+        """
         try:
             return self._ops_by_method[method]
         except KeyError:
@@ -161,13 +230,18 @@ class Structure(ExternHandler):
             )
 
     def operation_contract(self) -> PerformanceContract:
-        """The hand-derived contract: one entry per operation."""
+        """The hand-derived contract: one entry per operation.
+
+        Emitted in instance-qualified PCV form, matching what the symbolic
+        model charges and what the concrete handlers report.
+        """
         contract = PerformanceContract(f"{self.name}({self.kind})", registry=self.registry())
         for op in self.ops():
+            qualified = self.qualify_spec(op)
             contract.add_entry(
                 ContractEntry(
                     input_class=InputClass(op.method, description=op.description),
-                    exprs=dict(op.cost),
+                    exprs=dict(qualified.cost),
                 )
             )
         return contract
@@ -182,7 +256,10 @@ class Structure(ExternHandler):
     ) -> ExternResult:
         """Build the :class:`ExternResult` of one concrete call.
 
-        Evaluates the operation's cost formulas at the observed PCV values;
+        Evaluates the operation's cost formulas at the observed PCV values
+        (callers pass *local* symbols, e.g. ``t=3``); the reported PCV
+        observations are instance-qualified (``{"fwd.t": 3}``) so traces
+        line up with the contract's namespaced variables.
         ``discount_instructions`` lets a fast path report fewer instructions
         than the worst-case formula (never more), keeping the hand contract
         a genuine upper bound rather than a tautology.
@@ -196,7 +273,7 @@ class Structure(ExternHandler):
             value,
             instructions=instructions - discount_instructions,
             memory_accesses=op.cost[Metric.MEMORY_ACCESSES].evaluate_int(bindings),
-            pcvs=dict(bindings),
+            pcvs={self.pcv_name(name): observed for name, observed in bindings.items()},
         )
 
 
@@ -218,6 +295,49 @@ def _widen(a: PCV, b: PCV) -> PCV:
     )
 
 
+def check_extern_collisions(structures: Sequence[Structure]) -> None:
+    """Reject structure sets whose mangled extern names collide.
+
+    Externs are mangled ``{instance}_{method}``, which is ambiguous when
+    underscores straddle the boundary: instance ``a_b`` with method ``c``
+    and instance ``a`` with method ``b_c`` both mangle to ``a_b_c``.  A
+    collision would silently cross-wire dispatch, cost attribution and
+    trace matching, so every aggregation point (the symbolic model, the
+    harness handler merge, the module's extern declarations) must refuse
+    it loudly.
+
+    Two *distinct* instances sharing one name are rejected for the same
+    reason: their externs mangle identically, so the symbolic model would
+    silently rebind dispatch to whichever instance came last (while the
+    concrete handler merge errors), splitting the two pipelines.  The same
+    instance object appearing twice is fine.
+
+    Raises:
+        ValueError: two distinct (instance, method) claims — from
+            different names or different objects under one name — produce
+            the same extern symbol.
+    """
+    owners: Dict[str, Tuple[int, str, str]] = {}
+    for structure in structures:
+        for op in structure.ops():
+            extern = structure.extern_name(op.method)
+            claim = (id(structure), structure.name, op.method)
+            existing = owners.get(extern)
+            if existing is not None and existing != claim:
+                if existing[1:] == claim[1:]:
+                    raise ValueError(
+                        f"two distinct structure instances both named "
+                        f"{structure.name!r} claim extern {extern!r}; "
+                        f"instance names must be unique"
+                    )
+                raise ValueError(
+                    f"extern name {extern!r} is ambiguous after mangling: "
+                    f"instance {existing[1]!r} method {existing[2]!r} vs "
+                    f"instance {claim[1]!r} method {claim[2]!r}"
+                )
+            owners[extern] = claim
+
+
 class StructureModel(SymbolicModel):
     """Symbolic model over any set of library structures.
 
@@ -225,23 +345,28 @@ class StructureModel(SymbolicModel):
     value-returning operations havoc their output (constrained by the
     structure's :meth:`~Structure.result_constraints`) and every call
     charges the PCV-parameterised cost its operation contract promises —
-    byte-for-byte the formulas the concrete handlers charge.
+    byte-for-byte the formulas the concrete handlers charge, in the
+    instance-qualified PCV form (``fwd.t``, never bare ``t``).
     """
 
     def __init__(self, *structures: Structure) -> None:
+        check_extern_collisions(structures)
         self._by_extern: Dict[str, Tuple[Structure, OpSpec]] = {}
         for structure in structures:
             for op in structure.ops():
-                self._by_extern[structure.extern_name(op.method)] = (structure, op)
+                self._by_extern[structure.extern_name(op.method)] = (
+                    structure,
+                    structure.qualify_spec(op),
+                )
 
     def registry(self) -> PCVRegistry:
         """Return the merged PCV registry of all modelled structures.
 
-        Structures of different kinds may declare the same PCV name (both
-        map structures use ``t`` for chain links).  Sharing the symbol is
-        sound for upper bounds — concrete traces merge per-call PCV
-        observations by ``max`` — so colliding declarations are widened
-        (loosest bounds win) rather than rejected.
+        Instance qualification makes the per-structure registries disjoint
+        by construction (``fwd.t`` vs ``rev.t``), so the merge is a plain
+        union; same-named declarations (only possible for one instance
+        registered twice with drifting bounds) are widened defensively
+        rather than rejected.
         """
         pcvs: Dict[str, PCV] = {}
         seen: set[int] = set()

@@ -31,7 +31,7 @@ from __future__ import annotations
 from typing import Dict, Optional, Sequence, Set, Tuple
 
 from repro.core.contract import Metric
-from repro.core.pcv import PCV, PCVRegistry
+from repro.core.pcv import PCV
 from repro.core.perfexpr import PerfExpr
 from repro.nfil.interpreter import ExternResult, Memory
 from repro.structures.base import (
@@ -106,31 +106,29 @@ class ExpiringMap(Structure):
             OpSpec("get", 1, True, _GET, ("t",), "look a key up; NOT_FOUND on miss"),
         )
 
-    def registry(self) -> PCVRegistry:
-        return PCVRegistry(
-            [
-                PCV(
-                    "w",
-                    "time-wheel slots advanced by one expiry sweep",
-                    structure=self.name,
-                    max_value=self.wheel_slots,
-                    unit="slots",
-                ),
-                PCV(
-                    "e",
-                    "entries expired by one expiry sweep",
-                    structure=self.name,
-                    max_value=self.capacity,
-                    unit="entries",
-                ),
-                PCV(
-                    "t",
-                    "chain links inspected in one hash-map operation",
-                    structure=self.name,
-                    max_value=self.capacity,
-                    unit="links",
-                ),
-            ]
+    def pcvs(self) -> Sequence[PCV]:
+        return (
+            PCV(
+                "w",
+                "time-wheel slots advanced by one expiry sweep",
+                structure=self.name,
+                max_value=self.wheel_slots,
+                unit="slots",
+            ),
+            PCV(
+                "e",
+                "entries expired by one expiry sweep",
+                structure=self.name,
+                max_value=self.capacity,
+                unit="entries",
+            ),
+            PCV(
+                "t",
+                "chain links inspected in one hash-map operation",
+                structure=self.name,
+                max_value=self.capacity,
+                unit="links",
+            ),
         )
 
     def result_constraints(self, method: str, result: BV, args: Tuple[BV, ...]) -> Tuple[BV, ...]:

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.pcv import PCV, PCVRegistry
+from repro.core.pcv import PCV
 from repro.nfil.interpreter import ExternResult, Memory
 from repro.structures.base import (
     NOT_FOUND,
@@ -90,17 +90,15 @@ class ChainingHashMap(Structure):
             OpSpec("remove", 1, False, _REMOVE, ("t",), "delete a key if present"),
         )
 
-    def registry(self) -> PCVRegistry:
-        return PCVRegistry(
-            [
-                PCV(
-                    "t",
-                    "chain links inspected in one hash-map operation",
-                    structure=self.name,
-                    max_value=self.capacity,
-                    unit="links",
-                )
-            ]
+    def pcvs(self) -> Sequence[PCV]:
+        return (
+            PCV(
+                "t",
+                "chain links inspected in one hash-map operation",
+                structure=self.name,
+                max_value=self.capacity,
+                unit="links",
+            ),
         )
 
     def result_constraints(self, method: str, result: BV, args: Tuple[BV, ...]) -> Tuple[BV, ...]:

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence, Tuple
 
-from repro.core.pcv import PCV, PCVRegistry
+from repro.core.pcv import PCV
 from repro.nfil.interpreter import ExternResult, Memory
 from repro.structures.base import (
     NOT_FOUND,
@@ -85,17 +85,15 @@ class LpmTrie(Structure):
             ),
         )
 
-    def registry(self) -> PCVRegistry:
-        return PCVRegistry(
-            [
-                PCV(
-                    "d",
-                    "trie nodes visited by one LPM lookup",
-                    structure=self.name,
-                    max_value=MAX_DEPTH,
-                    unit="nodes",
-                )
-            ]
+    def pcvs(self) -> Sequence[PCV]:
+        return (
+            PCV(
+                "d",
+                "trie nodes visited by one LPM lookup",
+                structure=self.name,
+                max_value=MAX_DEPTH,
+                unit="nodes",
+            ),
         )
 
     def result_constraints(self, method: str, result: BV, args: Tuple[BV, ...]) -> Tuple[BV, ...]:

@@ -108,11 +108,15 @@ def validate_structure_contract(
     """
     checks: List[OperationCheck] = []
     for op in structure.ops():
+        # Re-read the promise fresh (never the init-time snapshot) and
+        # qualify it, so a structure whose ops() drifts after construction
+        # is caught as a mismatch instead of validated against itself.
+        hand_spec = structure.qualify_spec(op)
         contract = bolt_operation_contract(structure, op.method)
         entry = contract.entry_for(op.method)
         overhead: Dict[Metric, Fraction] = {}
         for metric in metrics:
-            hand = op.cost.get(metric, PerfExpr.zero())
+            hand = hand_spec.cost.get(metric, PerfExpr.zero())
             generated = entry.expr(metric)
             diff = generated - hand
             if not diff.is_constant() or diff.constant_term() < 0:
@@ -126,7 +130,7 @@ def validate_structure_contract(
             OperationCheck(
                 structure=structure.name,
                 method=op.method,
-                hand={metric: op.cost.get(metric, PerfExpr.zero()) for metric in metrics},
+                hand={metric: hand_spec.cost.get(metric, PerfExpr.zero()) for metric in metrics},
                 generated={metric: entry.expr(metric) for metric in metrics},
                 driver_overhead=overhead,
             )

@@ -16,10 +16,12 @@ from repro.traffic.packets import (
     ETHERNET_HEADER,
     ETHERTYPE_IPV4,
     IPV4_MIN_FRAME,
+    NAT_MIN_FRAME,
     ethernet_frame,
     ipv4_address,
     ipv4_frame,
     mac_bytes,
+    nat_frame,
 )
 from repro.traffic.replayer import (
     ClassSummary,
@@ -34,6 +36,7 @@ __all__ = [
     "ETHERNET_HEADER",
     "ETHERTYPE_IPV4",
     "IPV4_MIN_FRAME",
+    "NAT_MIN_FRAME",
     "NFTarget",
     "PacketOutcome",
     "ReplayResult",
@@ -43,6 +46,7 @@ __all__ = [
     "ipv4_address",
     "ipv4_frame",
     "mac_bytes",
+    "nat_frame",
     "uniform_indices",
     "zipf_indices",
     "zipf_weights",

@@ -16,16 +16,20 @@ __all__ = [
     "ETHERNET_HEADER",
     "ETHERTYPE_IPV4",
     "IPV4_MIN_FRAME",
+    "NAT_MIN_FRAME",
     "ethernet_frame",
     "ipv4_address",
     "ipv4_frame",
     "mac_bytes",
+    "nat_frame",
 ]
 
 #: Two MACs plus the EtherType.
 ETHERNET_HEADER = 14
 #: Ethernet header plus a minimal (option-free) IPv4 header.
 IPV4_MIN_FRAME = 34
+#: Ethernet + IPv4 + the two L4 port fields the NAT reads.
+NAT_MIN_FRAME = 38
 #: The IPv4 EtherType as the two on-wire bytes.
 ETHERTYPE_IPV4: Tuple[int, int] = (0x08, 0x00)
 
@@ -86,4 +90,31 @@ def ipv4_frame(
     frame[12], frame[13] = ethertype
     frame[22] = ttl
     frame[30:34] = address.to_bytes(4, "big")
+    return bytes(frame)
+
+
+def nat_frame(
+    src: Iterable[int] | int,
+    src_port: int,
+    dst: Iterable[int] | int,
+    dst_port: int,
+    *,
+    ethertype: Tuple[int, int] = ETHERTYPE_IPV4,
+    payload: int = 12,
+) -> bytes:
+    """Build a minimal Ethernet+IPv4+L4 frame for the NAT.
+
+    Populates the fields the NAT reads: the EtherType at offset 12, the
+    big-endian source/destination addresses at 26–29 / 30–33 and the
+    big-endian L4 ports at 34–35 / 36–37.
+    """
+    for port in (src_port, dst_port):
+        if not 0 <= port < (1 << 16):
+            raise ValueError(f"port {port} is not a 16-bit value")
+    frame = bytearray(NAT_MIN_FRAME + payload)
+    frame[12], frame[13] = ethertype
+    frame[26:30] = ipv4_address(src).to_bytes(4, "big")
+    frame[30:34] = ipv4_address(dst).to_bytes(4, "big")
+    frame[34:36] = src_port.to_bytes(2, "big")
+    frame[36:38] = dst_port.to_bytes(2, "big")
     return bytes(frame)

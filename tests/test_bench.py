@@ -16,7 +16,7 @@ def test_bench_writes_a_green_report(tmp_path, capsys):
     report = json.loads(output.read_text())
     assert report["schema"] == "repro-bench/1"
     assert report["ok"] is True
-    assert set(report["nfs"]) == {"bridge", "router"}
+    assert set(report["nfs"]) == {"bridge", "router", "nat"}
     assert set(report["hw_models"]) == {"conservative", "realistic"}
     for nf, record in report["nfs"].items():
         assert record["failures"] == 0
@@ -29,14 +29,36 @@ def test_bench_writes_a_green_report(tmp_path, capsys):
                     assert cycles["measured"] <= cycles["predicted"], (nf, name, model)
         worst = record["workloads"]["adversarial"]["worst_case"]
         assert worst and all(check["hit"] for check in worst.values())
-    # The bridge adversarial stream pins every PCV to its bound.
+    # The bridge adversarial stream pins every (namespaced) PCV to its bound.
     bridge_worst = report["nfs"]["bridge"]["workloads"]["adversarial"]["worst_case"]
     assert {pcv: check["observed"] for pcv, check in bridge_worst.items()} == {
-        "t": 16,
-        "e": 16,
-        "w": 51,
+        "bridge_map.t": 16,
+        "bridge_map.e": 16,
+        "bridge_map.w": 51,
     }
-    assert report["nfs"]["router"]["workloads"]["adversarial"]["worst_case"]["d"]["observed"] == 33
+    router_worst = report["nfs"]["router"]["workloads"]["adversarial"]["worst_case"]
+    assert router_worst["rt.d"]["observed"] == 33
+    # The NAT adversarial stream pins *both* instances' PCVs — the
+    # namespaced bounds are observed independently per flow table.
+    nat_worst = report["nfs"]["nat"]["workloads"]["adversarial"]["worst_case"]
+    assert {pcv: check["observed"] for pcv, check in nat_worst.items()} == {
+        "fwd.t": 16,
+        "fwd.e": 16,
+        "fwd.w": 51,
+        "rev.t": 16,
+        "rev.e": 16,
+        "rev.w": 51,
+    }
+    # All seven NAT contract classes were exercised across its workloads.
+    assert set(report["nfs"]["nat"]["classes_seen"]) == {
+        "short",
+        "non_ip",
+        "internal_new",
+        "internal_existing",
+        "no_ports",
+        "external_hit",
+        "external_miss",
+    }
 
 
 def test_bench_report_envelopes_dominate_measurements(tmp_path):

@@ -21,8 +21,9 @@ from repro.nfil import Interpreter, Memory
 
 CAPACITY = 16
 
-#: Every PCV of the bridge contract, zeroed (traces fill in observations).
-ZERO_PCVS = {"e": 0, "t": 0, "w": 0}
+#: Every (instance-qualified) PCV of the bridge contract, zeroed (traces
+#: fill in observations).
+ZERO_PCVS = {"bridge_map.e": 0, "bridge_map.t": 0, "bridge_map.w": 0}
 
 
 @pytest.fixture(scope="module")
@@ -50,15 +51,15 @@ def test_contract_has_the_four_bridge_classes(contract):
 
 
 def test_contract_expressions_use_the_declared_pcvs(contract):
-    assert contract.variables() <= {"e", "t", "w"}
+    assert contract.variables() <= {"bridge_map.e", "bridge_map.t", "bridge_map.w"}
     # The short path never touches the MAC table: no t term.
     short = contract.entry_for("short")
-    assert short.expr(Metric.INSTRUCTIONS).coefficient("t") == 0
+    assert short.expr(Metric.INSTRUCTIONS).coefficient("bridge_map.t") == 0
     # Lookup paths charge both puts and gets: t coefficient is the sum of
     # the per-op slopes (6 + 6 instructions, 2 + 2 accesses).
     hit = contract.entry_for("hit")
-    assert hit.expr(Metric.INSTRUCTIONS).coefficient("t") == 12
-    assert hit.expr(Metric.MEMORY_ACCESSES).coefficient("t") == 4
+    assert hit.expr(Metric.INSTRUCTIONS).coefficient("bridge_map.t") == 12
+    assert hit.expr(Metric.MEMORY_ACCESSES).coefficient("bridge_map.t") == 4
 
 
 def test_bridge_concrete_behaviour():
@@ -93,9 +94,9 @@ def test_bridge_expiry_reports_e():
     _, trace = _run(interp, _packet(b"\x01" * 6, b"\x03" * 6), port=0, time=100)
     expire_call = trace.extern_calls[0]
     assert expire_call.name == "bridge_map_expire"
-    assert expire_call.pcvs["e"] == 1
+    assert expire_call.pcvs["bridge_map.e"] == 1
     # The wheel never advances more than one revolution per sweep.
-    assert expire_call.pcvs["w"] <= table.wheel_slots
+    assert expire_call.pcvs["bridge_map.w"] <= table.wheel_slots
     assert table.occupancy() == 1  # the fresh source MAC was re-learned
 
 

@@ -168,7 +168,7 @@ def test_chain_of_real_nf_contracts_bounds_chained_execution():
         pairs_seen.add(pair)
         chained = chain.entry_for(pair)
 
-        bindings = {"e": 0, "t": 0, "w": 0, "d": 0}
+        bindings = {"bridge_map.e": 0, "bridge_map.t": 0, "bridge_map.w": 0, "rt.d": 0}
         bindings.update(bridge_trace.pcv_bindings())
         bindings.update(router_trace.pcv_bindings())
         total_instr = bridge_trace.total_instructions() + router_trace.total_instructions()

@@ -16,18 +16,23 @@ from repro.traffic import Replayer
 SPEC = HwSpec(issue_width=2, l1_latency=4, dram_latency=100)
 
 
+# The toy contract is written over the instance-qualified PCV the map
+# instance "flow_map" emits, so hit-rate pricing can resolve its owner.
+T = "flow_map.t"
+
+
 def _toy_entry():
     return ContractEntry(
         input_class=InputClass("all"),
         exprs={
-            Metric.INSTRUCTIONS: PerfExpr.from_terms(t=6, const=5),
-            Metric.MEMORY_ACCESSES: PerfExpr.from_terms(t=2, const=2),
+            Metric.INSTRUCTIONS: PerfExpr.from_terms(const=5, **{T: 6}),
+            Metric.MEMORY_ACCESSES: PerfExpr.from_terms(const=2, **{T: 2}),
         },
     )
 
 
 def _toy_contract():
-    registry = PCVRegistry([PCV("t", "traversals", structure="flow_map", max_value=8)])
+    registry = PCVRegistry([PCV(T, "traversals", structure="flow_map", max_value=8)])
     contract = PerformanceContract("toy", registry=registry)
     contract.add_entry(_toy_entry())
     return contract
@@ -44,7 +49,7 @@ def test_conservative_prices_every_access_at_dram():
     model = ConservativeModel(SPEC)
     expr = model.cycles_expr(_toy_entry())
     # 6t + 5 instructions at CPI 1, (2t + 2) accesses at 100 cycles.
-    assert expr == PerfExpr.from_terms(t=206, const=205)
+    assert expr == PerfExpr.from_terms(const=205, **{T: 206})
 
 
 def test_realistic_prices_structure_accesses_by_hit_rate():
@@ -55,8 +60,8 @@ def test_realistic_prices_structure_accesses_by_hit_rate():
     # Instructions amortise over the issue width; the t term belongs to
     # the map; the constant term is priced at max(stateless, structure).
     expected = (
-        PerfExpr.from_terms(t=6, const=5).scaled(Fraction(1, 2))
-        + PerfExpr.from_terms(t=2).scaled(blended)
+        PerfExpr.from_terms(const=5, **{T: 6}).scaled(Fraction(1, 2))
+        + PerfExpr.from_terms(**{T: 2}).scaled(blended)
         + PerfExpr.constant(2 * blended)
     )
     assert expr == expected
@@ -67,7 +72,7 @@ def test_realistic_unknown_structure_gets_no_locality():
     # No structures given: the PCV has no owner, so its accesses are
     # priced at the unknown-producer worst case (DRAM).
     expr = model.cycles_expr(_toy_entry())
-    assert expr.coefficient("t") == Fraction(6, 2) + 2 * 100
+    assert expr.coefficient(T) == Fraction(6, 2) + 2 * 100
 
 
 def test_realistic_hit_rate_validation():
@@ -135,7 +140,7 @@ def test_envelope_bounds_any_binding():
     model = ConservativeModel(SPEC)
     envelope = model.envelope(contract)
     for t in range(9):
-        assert model.predict(contract.entry_for("all"), {"t": t}) <= envelope
+        assert model.predict(contract.entry_for("all"), {T: t}) <= envelope
 
 
 def test_bridge_replay_measured_within_predicted_for_both_models():

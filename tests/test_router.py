@@ -26,7 +26,7 @@ from repro.structures.lpm import MAX_DEPTH
 ALL_CLASSES = ["no_route", "non_ip", "routed", "short", "ttl_expired"]
 
 #: Every PCV of the router contract, zeroed (traces fill in observations).
-ZERO_PCVS = {"d": 0}
+ZERO_PCVS = {"rt.d": 0}
 
 
 @pytest.fixture(scope="module")
@@ -63,13 +63,13 @@ def test_contract_has_the_five_router_classes(contract):
 
 
 def test_contract_expressions_use_the_trie_pcv(contract):
-    assert contract.variables() <= {"d"}
+    assert contract.variables() <= {"rt.d"}
     # Parse-failure paths never reach the trie: constant cost.
     for name in ("short", "non_ip", "ttl_expired"):
         assert contract.entry_for(name).expr(Metric.INSTRUCTIONS).is_constant()
     routed = contract.entry_for("routed")
-    assert routed.expr(Metric.INSTRUCTIONS).coefficient("d") == 5
-    assert routed.expr(Metric.MEMORY_ACCESSES).coefficient("d") == 2
+    assert routed.expr(Metric.INSTRUCTIONS).coefficient("rt.d") == 5
+    assert routed.expr(Metric.MEMORY_ACCESSES).coefficient("rt.d") == 2
 
 
 def test_router_concrete_behaviour():
@@ -181,8 +181,8 @@ def test_routed_entry_depth_tracks_prefix_length(contract):
     previous_cost = -1
     for dst in (_ip(10, 200, 0, 1), _ip(10, 1, 9, 9), _ip(10, 1, 2, 9)):
         _, trace = _run(interp, ipv4_packet(dst))
-        depth = trace.pcv_bindings()["d"]
-        cost = routed.evaluate(Metric.INSTRUCTIONS, {"d": depth})
+        depth = trace.pcv_bindings()["rt.d"]
+        cost = routed.evaluate(Metric.INSTRUCTIONS, {"rt.d": depth})
         assert depth > previous_depth
         assert cost > previous_cost
         previous_depth, previous_cost = depth, cost

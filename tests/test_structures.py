@@ -14,6 +14,7 @@ from repro.structures import (
     ExpiringMap,
     LpmTrie,
     OpSpec,
+    PortAllocator,
     Structure,
     StructureContractError,
     StructureModel,
@@ -109,7 +110,7 @@ def test_hashmap_contract_bounds_100_traced_operations():
             traced_call(m, "remove", key, trace=trace)
     assert_contract_bounds_trace(m, trace, min_ops=150)
     # Collisions must actually have happened for the bound to mean much.
-    assert max(call.pcvs.get("t", 0) for call in trace.extern_calls) >= 2
+    assert max(call.pcvs.get("flow.t", 0) for call in trace.extern_calls) >= 2
 
 
 # --------------------------------------------------------------------------- #
@@ -174,8 +175,8 @@ def test_expiring_map_contract_bounds_100_traced_operations():
         assert result == NOT_FOUND or result < 64
     assert_contract_bounds_trace(m, trace, min_ops=180)
     # The workload must have exercised expiry and wheel advancement.
-    assert max(call.pcvs.get("e", 0) for call in trace.extern_calls) >= 1
-    assert max(call.pcvs.get("w", 0) for call in trace.extern_calls) >= 1
+    assert max(call.pcvs.get("mac.e", 0) for call in trace.extern_calls) >= 1
+    assert max(call.pcvs.get("mac.w", 0) for call in trace.extern_calls) >= 1
 
 
 # --------------------------------------------------------------------------- #
@@ -234,10 +235,49 @@ def test_lpm_contract_bounds_100_traced_operations():
         result = traced_call(t, "lookup", address, trace=trace)
         expected = t.lookup(address)[0]
         assert result == (NOT_FOUND if expected is None else expected)
-        depths.add(trace.extern_calls[-1].pcvs["d"])
+        depths.add(trace.extern_calls[-1].pcvs["rt.d"])
     assert_contract_bounds_trace(t, trace, min_ops=120)
     assert len(depths) > 1  # the workload explored different prefix depths
     assert max(depths) <= MAX_DEPTH
+
+
+# --------------------------------------------------------------------------- #
+# Port allocator
+# --------------------------------------------------------------------------- #
+def test_port_allocator_leases_in_pool_order_and_reuses_releases():
+    alloc = PortAllocator("ports", pool=[100, 200, 300])
+    assert [alloc.take() for _ in range(3)] == [100, 200, 300]
+    assert alloc.take() == NOT_FOUND
+    assert alloc.give_back(200) is True
+    assert alloc.give_back(200) is False  # double free refused
+    assert alloc.take() == 200
+    assert alloc.available() == 0 and alloc.leased() == 3
+
+
+def test_port_allocator_validates_its_pool():
+    with pytest.raises(ValueError):
+        PortAllocator("ports", pool=[])
+    with pytest.raises(ValueError):
+        PortAllocator("ports", pool=[1, 1])
+    with pytest.raises(ValueError):
+        PortAllocator("ports", pool=[1 << 16])
+
+
+def test_port_allocator_contract_bounds_100_traced_operations():
+    alloc = PortAllocator("ports", pool=range(1024, 1024 + 8))
+    rng = random.Random(5)
+    trace = ExecutionTrace()
+    held = []
+    for _ in range(120):
+        if held and rng.random() < 0.4:
+            traced_call(alloc, "release", held.pop(rng.randrange(len(held))), trace=trace)
+        else:
+            result = traced_call(alloc, "alloc", trace=trace)
+            if result != NOT_FOUND:
+                held.append(result)
+    assert_contract_bounds_trace(alloc, trace, min_ops=120)
+    # Exhaustion must have been exercised (the alloc fast path).
+    assert any(call.result == NOT_FOUND for call in trace.extern_calls)
 
 
 # --------------------------------------------------------------------------- #
@@ -249,6 +289,7 @@ def test_lpm_contract_bounds_100_traced_operations():
         ChainingHashMap("m", capacity=8, value_bound=64),
         ExpiringMap("em", capacity=8, timeout=30, value_bound=64),
         LpmTrie("rt", value_bound=64),
+        PortAllocator("ports", pool=range(1024, 1032)),
     ],
     ids=lambda s: s.kind,
 )
@@ -315,8 +356,16 @@ def test_structure_requires_handlers_for_declared_ops():
 
 
 def test_structure_rejects_bad_instance_names():
-    with pytest.raises(ValueError):
+    # The error must teach the rule: it quotes the allowed character set.
+    with pytest.raises(ValueError, match="letters, digits and underscores"):
         ChainingHashMap("no spaces")
+    # Dots are reserved as the PCV namespace separator.
+    with pytest.raises(ValueError, match="letters, digits and underscores"):
+        ChainingHashMap("dotted.name")
+    # Digit-leading names would only fail later, at PCV qualification —
+    # the constructor must fail fast instead.
+    with pytest.raises(ValueError, match="not starting with a digit"):
+        ChainingHashMap("2tbl")
 
 
 def test_charge_rejects_bad_discounts():
@@ -330,19 +379,21 @@ def test_structure_model_merges_registries_and_dispatches():
     rt = LpmTrie("fib")
     model = StructureModel(em, rt)
     names = model.registry().names()
-    assert names == ["d", "e", "t", "w"]
+    assert names == ["fib.d", "mac.e", "mac.t", "mac.w"]
 
 
-def test_structure_model_widens_shared_pcvs():
-    """Two structures declaring the same PCV (both map kinds use ``t``)
-    must merge into one shared declaration with the loosest bounds."""
+def test_structure_model_keeps_same_symbol_instances_disjoint():
+    """Two structures declaring the same local symbol (both map kinds use
+    ``t``) stay disjoint in the merged registry — each under its own
+    instance namespace, each with its own bound."""
     em = ExpiringMap("mac", capacity=8, timeout=10)
     hm = ChainingHashMap("flow", capacity=32)
     registry = StructureModel(em, hm).registry()
-    t = registry.get("t")
-    assert t.max_value == 32  # loosest of the two capacities
-    assert t.structure is None  # shared between instances
-    assert registry.names() == ["e", "t", "w"]
+    assert registry.names() == ["flow.t", "mac.e", "mac.t", "mac.w"]
+    assert registry.get("mac.t").max_value == 8
+    assert registry.get("flow.t").max_value == 32
+    assert registry.get("mac.t").structure == "mac"
+    assert registry.get("flow.t").structure == "flow"
 
 
 def test_maps_reject_the_not_found_sentinel_as_value():

@@ -102,8 +102,8 @@ def test_adversarial_expectations_match_registry_bounds():
     for pcv, bound in bridge.expected_worst.items():
         assert registry.get(pcv).max_value == bound
     router = router_adversarial()
-    assert router.expected_worst == {"d": 33}
-    assert router.harness.structures[0].registry().get("d").max_value == 33
+    assert router.expected_worst == {"rt.d": 33}
+    assert router.harness.structures[0].registry().get("rt.d").max_value == 33
 
 
 def test_bridge_adversarial_hits_every_pcv_bound():
@@ -120,9 +120,9 @@ def test_router_adversarial_walks_the_full_trie_depth():
     contract = generate_router_contract()
     result = Replayer(workload.harness, contract).replay(workload.stimuli)
     assert result.ok, result.violations[:3]
-    assert result.max_pcvs["d"] == 33
+    assert result.max_pcvs["rt.d"] == 33
     routed = [outcome for outcome in result.outcomes if outcome.class_name == "routed"]
-    worst = max(routed, key=lambda outcome: outcome.pcvs.get("d", 0))
+    worst = max(routed, key=lambda outcome: outcome.pcvs.get("rt.d", 0))
     assert worst.note == "worst_d"
 
 
