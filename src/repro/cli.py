@@ -5,16 +5,22 @@
     prints the artefacts a human (or a CI log reader) needs to spot a
     regression in generated bounds: every library structure's
     hand-derived per-operation contract cross-validated against Bolt, and
-    the generated contracts of both NFs with per-path feasibility.
+    the generated contracts of every NF with per-path feasibility.
 
 ``python -m repro.cli bench``
     Closes the evaluation loop (§5 of the paper): replays uniform, Zipf
-    and adversarial workloads through all three NFs (bridge, router,
-    NAT), derives cycle predictions under the conservative and realistic
-    hardware models, asserts **measured ≤ predicted on every packet**
-    (counts and cycles), checks that the adversarial streams actually
-    drive every instance-qualified PCV to its declared bound, and writes
-    the whole record to a ``BENCH_*.json`` CI archives as an artifact.
+    and adversarial workloads through every NF in :data:`NF_MATRIX`
+    (bridge, router, NAT, LB), derives cycle predictions under the
+    conservative and realistic hardware models, asserts **measured ≤
+    predicted on every packet** (counts and cycles), checks that the
+    adversarial streams actually drive every instance-qualified PCV to
+    its declared bound, and writes the whole record to a ``BENCH_*.json``
+    CI archives as an artifact.
+
+Both the smoke structures (:func:`smoke_structures`) and the NF matrix
+(:data:`NF_MATRIX`) are module-level registries: adding a structure or an
+NF means appending one entry, and ``tools/check_docs.py`` walks the same
+registries to keep the documentation in sync with what actually runs.
 
 Both commands print section by section as output is produced, so even a
 crash mid-run leaves the already-validated tables in the job log, and exit
@@ -27,17 +33,21 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 import repro.structures as structures_pkg
 from repro.core import Distiller
+from repro.core.contract import PerformanceContract
 from repro.hw import ConservativeModel, CycleModel, RealisticModel, model_to_json
 from repro.nf.bridge import generate_bridge_contract
+from repro.nf.lb import generate_lb_contract
 from repro.nf.nat import generate_nat_contract
 from repro.nf.router import generate_router_contract
 from repro.nf.workloads import (
     Workload,
     bridge_workloads,
+    lb_workloads,
     nat_workloads,
     router_workloads,
     worst_case_report,
@@ -46,6 +56,7 @@ from repro.structures import (
     ChainingHashMap,
     ExpiringMap,
     LpmTrie,
+    MaglevTable,
     PortAllocator,
     Structure,
     StructureContractError,
@@ -54,24 +65,126 @@ from repro.structures import (
 from repro.traffic import Replayer
 
 #: Input classes each NF contract must keep covering.
-EXPECTED_BRIDGE_CLASSES = {"short", "miss", "hairpin", "hit"}
-EXPECTED_ROUTER_CLASSES = {"short", "non_ip", "ttl_expired", "no_route", "routed"}
-EXPECTED_NAT_CLASSES = {
-    "short",
-    "non_ip",
-    "internal_new",
-    "internal_existing",
-    "no_ports",
-    "external_hit",
-    "external_miss",
-}
+EXPECTED_BRIDGE_CLASSES = frozenset({"short", "miss", "hairpin", "hit"})
+EXPECTED_ROUTER_CLASSES = frozenset({"short", "non_ip", "ttl_expired", "no_route", "routed"})
+EXPECTED_NAT_CLASSES = frozenset(
+    {
+        "short",
+        "non_ip",
+        "internal_new",
+        "internal_existing",
+        "no_ports",
+        "external_hit",
+        "external_miss",
+    }
+)
+EXPECTED_LB_CLASSES = frozenset(
+    {
+        "short",
+        "non_ip",
+        "reconfig",
+        "new_flow",
+        "existing_flow",
+        "backend_drained",
+        "no_backends",
+    }
+)
 
-#: Bench defaults: bridge table geometry and per-workload packet budget.
+#: Bench defaults: table geometries and per-workload packet budget.
 BENCH_CAPACITY = 16
 BENCH_TIMEOUT = 50
 BENCH_PACKETS = 150
 BENCH_SEED = 2019
 BENCH_OUTPUT = "BENCH_eval.json"
+#: LB-specific geometry: Maglev slots (prime) and the backend ceiling.
+LB_TABLE_SIZE = 13
+LB_MAX_BACKENDS = 4
+
+
+@dataclass(frozen=True)
+class NFSpec:
+    """One NF's registration with the smoke and bench pipelines.
+
+    Attributes:
+        name: short NF name (bench report key, workload harness name).
+        title: section title printed by the smoke/bench runs.
+        smoke_contract: contract generator at default geometry (smoke).
+        bench_contract: contract generator at bench geometry.
+        bench_workloads: ``(seed, packets) -> [Workload]`` factory whose
+            streams must jointly cover ``expected_classes``.
+        expected_classes: input classes the contract and the replayed
+            workloads must keep covering.
+    """
+
+    name: str
+    title: str
+    smoke_contract: Callable[[], PerformanceContract]
+    bench_contract: Callable[[], PerformanceContract]
+    bench_workloads: Callable[[int, int], List[Workload]]
+    expected_classes: FrozenSet[str]
+
+
+NF_MATRIX: Tuple[NFSpec, ...] = (
+    NFSpec(
+        "bridge",
+        "NF: MAC learning bridge",
+        generate_bridge_contract,
+        lambda: generate_bridge_contract(BENCH_CAPACITY, BENCH_TIMEOUT),
+        lambda seed, packets: bridge_workloads(
+            seed=seed, capacity=BENCH_CAPACITY, timeout=BENCH_TIMEOUT, packets=packets
+        ),
+        EXPECTED_BRIDGE_CLASSES,
+    ),
+    NFSpec(
+        "router",
+        "NF: static LPM router",
+        generate_router_contract,
+        generate_router_contract,
+        lambda seed, packets: router_workloads(seed=seed, packets=packets),
+        EXPECTED_ROUTER_CLASSES,
+    ),
+    NFSpec(
+        "nat",
+        "NF: VigNAT-style NAT",
+        generate_nat_contract,
+        lambda: generate_nat_contract(BENCH_CAPACITY, BENCH_TIMEOUT),
+        lambda seed, packets: nat_workloads(
+            seed=seed, capacity=BENCH_CAPACITY, timeout=BENCH_TIMEOUT, packets=packets
+        ),
+        EXPECTED_NAT_CLASSES,
+    ),
+    NFSpec(
+        "lb",
+        "NF: Maglev-style load balancer",
+        generate_lb_contract,
+        lambda: generate_lb_contract(
+            BENCH_CAPACITY,
+            BENCH_TIMEOUT,
+            table_size=LB_TABLE_SIZE,
+            max_backends=LB_MAX_BACKENDS,
+        ),
+        lambda seed, packets: lb_workloads(
+            seed=seed,
+            capacity=BENCH_CAPACITY,
+            timeout=BENCH_TIMEOUT,
+            packets=packets,
+            table_size=LB_TABLE_SIZE,
+            max_backends=LB_MAX_BACKENDS,
+        ),
+        EXPECTED_LB_CLASSES,
+    ),
+)
+
+
+def smoke_structures() -> List[Structure]:
+    """One representative instance per library structure, for the smoke run."""
+    return [
+        ChainingHashMap("flow_map", capacity=64, value_bound=64),
+        ExpiringMap("mac_table", capacity=64, timeout=300, value_bound=64),
+        LpmTrie("fib", value_bound=64),
+        PortAllocator("nat_ports", pool=range(49152, 49216)),
+        MaglevTable("lb_tbl", table_size=13, max_backends=4, value_bound=1 << 16),
+    ]
 
 
 def _section(title: str) -> None:
@@ -81,29 +194,29 @@ def _section(title: str) -> None:
 # --------------------------------------------------------------------------- #
 # smoke: structure + contract validation
 # --------------------------------------------------------------------------- #
-def run_structure_validation() -> int:
-    """Validate every library structure's contract against Bolt."""
+def run_structure_validation(structures: Optional[Sequence[Structure]] = None) -> int:
+    """Validate every library structure's contract against Bolt.
+
+    With the default list, also guard against a structure being added to
+    the library but forgotten here: every exported Structure subclass must
+    be smoke-validated.  (An explicit ``structures`` list skips the guard;
+    the caller owns coverage then.)
+    """
     failures = 0
-    structures = [
-        ChainingHashMap("flow_map", capacity=64, value_bound=64),
-        ExpiringMap("mac_table", capacity=64, timeout=300, value_bound=64),
-        LpmTrie("fib", value_bound=64),
-        PortAllocator("nat_ports", pool=range(49152, 49216)),
-    ]
-    # Guard against a structure being added to the library but forgotten
-    # here: every exported Structure subclass must be smoke-validated.
-    exported = {
-        cls
-        for name in structures_pkg.__all__
-        if isinstance(cls := getattr(structures_pkg, name), type)
-        and issubclass(cls, Structure)
-        and cls is not Structure
-    }
-    covered = {type(structure) for structure in structures}
-    if exported - covered:
-        missing = sorted(cls.__name__ for cls in exported - covered)
-        print(f"FAIL: structures not covered by the smoke run: {missing}")
-        failures += 1
+    if structures is None:
+        structures = smoke_structures()
+        exported = {
+            cls
+            for name in structures_pkg.__all__
+            if isinstance(cls := getattr(structures_pkg, name), type)
+            and issubclass(cls, Structure)
+            and cls is not Structure
+        }
+        covered = {type(structure) for structure in structures}
+        if exported - covered:
+            missing = sorted(cls.__name__ for cls in exported - covered)
+            print(f"FAIL: structures not covered by the smoke run: {missing}")
+            failures += 1
     for structure in structures:
         _section(f"structure {structure.name} ({structure.kind})")
         print(structure.operation_contract().render())
@@ -121,20 +234,16 @@ def run_structure_validation() -> int:
     return failures
 
 
-def run_nf_contracts() -> int:
-    """Generate and render both NF contracts; check their input classes."""
+def run_nf_contracts(specs: Optional[Sequence[NFSpec]] = None) -> int:
+    """Generate and render every NF contract; check their input classes."""
     failures = 0
-    for title, generate, expected in (
-        ("NF: MAC learning bridge", generate_bridge_contract, EXPECTED_BRIDGE_CLASSES),
-        ("NF: static LPM router", generate_router_contract, EXPECTED_ROUTER_CLASSES),
-        ("NF: VigNAT-style NAT", generate_nat_contract, EXPECTED_NAT_CLASSES),
-    ):
-        _section(title)
-        contract = generate()
+    for spec in NF_MATRIX if specs is None else specs:
+        _section(spec.title)
+        contract = spec.smoke_contract()
         print(contract.render())
         feasibility = {path.feasibility for entry in contract for path in entry.paths}
         print(f"path feasibility: {sorted(feasibility)}")
-        missing = expected - set(contract.class_names())
+        missing = spec.expected_classes - set(contract.class_names())
         if missing:
             failures += 1
             print(f"FAIL: contract lost input classes {sorted(missing)}")
@@ -157,7 +266,7 @@ def _bench_nf(
     contract,
     workloads: List[Workload],
     models: List[CycleModel],
-    expected_classes: set,
+    expected_classes: FrozenSet[str],
 ) -> Dict[str, object]:
     """Replay one NF's workloads; return its JSON record (with failures)."""
     failures = 0
@@ -208,7 +317,7 @@ def run_bench(
     packets: int = BENCH_PACKETS,
     seed: int = BENCH_SEED,
 ) -> int:
-    """Replay both NFs under all workloads; write the BENCH_*.json report."""
+    """Replay every NF under all workloads; write the BENCH_*.json report."""
     models: List[CycleModel] = [ConservativeModel(), RealisticModel()]
     report: Dict[str, object] = {
         "schema": "repro-bench/1",
@@ -219,46 +328,17 @@ def run_bench(
         "nfs": {},
     }
     failures = 0
-
-    _section("bench: MAC learning bridge")
-    bridge_contract = generate_bridge_contract(BENCH_CAPACITY, BENCH_TIMEOUT)
-    record = _bench_nf(
-        "bridge",
-        bridge_contract,
-        bridge_workloads(
-            seed=seed, capacity=BENCH_CAPACITY, timeout=BENCH_TIMEOUT, packets=packets
-        ),
-        models,
-        EXPECTED_BRIDGE_CLASSES,
-    )
-    failures += int(record["failures"])  # type: ignore[arg-type]
-    report["nfs"]["bridge"] = record  # type: ignore[index]
-
-    _section("bench: static LPM router")
-    router_contract = generate_router_contract()
-    record = _bench_nf(
-        "router",
-        router_contract,
-        router_workloads(seed=seed, packets=packets),
-        models,
-        EXPECTED_ROUTER_CLASSES,
-    )
-    failures += int(record["failures"])  # type: ignore[arg-type]
-    report["nfs"]["router"] = record  # type: ignore[index]
-
-    _section("bench: VigNAT-style NAT")
-    nat_contract = generate_nat_contract(BENCH_CAPACITY, BENCH_TIMEOUT)
-    record = _bench_nf(
-        "nat",
-        nat_contract,
-        nat_workloads(
-            seed=seed, capacity=BENCH_CAPACITY, timeout=BENCH_TIMEOUT, packets=packets
-        ),
-        models,
-        EXPECTED_NAT_CLASSES,
-    )
-    failures += int(record["failures"])  # type: ignore[arg-type]
-    report["nfs"]["nat"] = record  # type: ignore[index]
+    for spec in NF_MATRIX:
+        _section(f"bench: {spec.title.removeprefix('NF: ')}")
+        record = _bench_nf(
+            spec.name,
+            spec.bench_contract(),
+            spec.bench_workloads(seed, packets),
+            models,
+            spec.expected_classes,
+        )
+        failures += int(record["failures"])  # type: ignore[arg-type]
+        report["nfs"][spec.name] = record  # type: ignore[index]
 
     report["ok"] = failures == 0
     with open(output, "w", encoding="utf-8") as handle:

@@ -100,12 +100,13 @@ class HwSpec:
 #: realistic model when no per-instance override is given.  A hash chain
 #: walk touches scattered links (cold-ish); an LPM trie's top levels are
 #: shared by every lookup and stay resident; a port allocator's free list
-#: is one small, hot array.
+#: and a Maglev table's lookup array are each one small, hot array.
 DEFAULT_HIT_RATES: Dict[str, Fraction] = {
     "chaining_hash_map": Fraction(9, 10),
     "expiring_map": Fraction(9, 10),
     "lpm_trie": Fraction(19, 20),
     "port_allocator": Fraction(19, 20),
+    "maglev_table": Fraction(19, 20),
 }
 
 

@@ -15,15 +15,20 @@ to their bounds.  Currently implemented:
   :class:`~repro.structures.ExpiringMap` instances plus a
   :class:`~repro.structures.PortAllocator` (PCVs ``fwd.*`` and ``rev.*``)
   — the multi-instance NF that per-instance PCV namespacing exists for.
+* :mod:`repro.nf.lb` — a Maglev-style L4 load balancer, backed by a
+  :class:`~repro.structures.MaglevTable` plus an
+  :class:`~repro.structures.ExpiringMap` connection table (PCVs
+  ``lb_tbl.f`` and ``conn.*``) — the first NF whose dominant cost is a
+  control-plane operation (table repopulation on backend churn).
 
 Shared replay glue lives in :mod:`repro.nf.replay` (the
 :class:`~repro.nf.replay.NFHarness` the traffic replayer drives) and the
 per-NF evaluation workloads — uniform, Zipf and provably-worst-case
 adversarial — in :mod:`repro.nf.workloads`.
 
-The paper's remaining NFs (Maglev-like load balancer, firewall with
-connection tracking) are tracked in ROADMAP.md; docs/NF_AUTHORING.md is
-the step-by-step guide to adding one.
+The paper's remaining NFs (e.g. a firewall with connection tracking) are
+tracked in ROADMAP.md; docs/NF_AUTHORING.md is the step-by-step guide to
+adding one, and docs/STRUCTURES.md its counterpart for structures.
 """
 
 from repro.nf.replay import NFHarness, replay_env
@@ -31,10 +36,20 @@ from repro.nf.workloads import (
     Workload,
     bridge_harness,
     bridge_workloads,
+    lb_harness,
+    lb_workloads,
     nat_harness,
     nat_workloads,
     router_harness,
     router_workloads,
+)
+from repro.nf.lb import (
+    build_lb_module,
+    classify_lb_path,
+    generate_lb_contract,
+    lb_replay_env,
+    lb_symbolic_inputs,
+    make_lb_state,
 )
 from repro.nf.bridge import (
     bridge_replay_env,
@@ -70,16 +85,24 @@ __all__ = [
     "bridge_symbolic_inputs",
     "bridge_workloads",
     "build_bridge_module",
+    "build_lb_module",
     "build_nat_module",
     "build_router_module",
     "classify_bridge_path",
+    "classify_lb_path",
     "classify_nat_path",
     "classify_router_path",
     "generate_bridge_contract",
+    "generate_lb_contract",
     "generate_nat_contract",
     "generate_router_contract",
     "ipv4_packet",
+    "lb_harness",
+    "lb_replay_env",
+    "lb_symbolic_inputs",
+    "lb_workloads",
     "make_bridge_table",
+    "make_lb_state",
     "make_nat_tables",
     "make_routing_table",
     "nat_harness",

@@ -27,6 +27,16 @@ the worst case to count as *hit*:
   (``fwd.w = rev.w = wheel_slots``, ``fwd.e = rev.e = capacity``).  The
   two ``t`` bounds being separately observable is exactly what
   per-instance PCV namespacing buys.
+* **LB** — the adversarial stream pins a *control-plane* bound on top of
+  the usual connection-table ones: a backend-churn phase adds
+  ``max_backends`` backends whose permutation parameters all collide
+  (:func:`colliding_backends`), so the final repopulation performs
+  exactly its proven worst-case fill count (``lb_tbl.f`` at bound), then
+  colliding flow keys build a maximal connection chain
+  (``conn.t = capacity``), a drain exercises ``backend_drained``, a full
+  drain exercises ``no_backends``, and one full-revolution time jump
+  expires the connection table (``conn.w = wheel_slots``,
+  ``conn.e = capacity``).
 """
 
 from __future__ import annotations
@@ -36,11 +46,12 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.nf import bridge as bridge_nf
+from repro.nf import lb as lb_nf
 from repro.nf import nat as nat_nf
 from repro.nf import router as router_nf
 from repro.nf.replay import NFHarness
 from repro.nfil.interpreter import ExternHandler
-from repro.structures import ChainingHashMap, LpmTrie
+from repro.structures import ChainingHashMap, LpmTrie, MaglevTable, max_fill_iterations
 from repro.structures.lpm import MAX_DEPTH
 from repro.traffic.generators import Stimulus, uniform_indices, zipf_indices
 from repro.traffic.packets import ethernet_frame, ipv4_frame, mac_bytes, nat_frame
@@ -49,9 +60,12 @@ __all__ = [
     "Workload",
     "bridge_harness",
     "bridge_workloads",
+    "colliding_backends",
     "colliding_keys",
     "colliding_mac_keys",
     "colliding_ports",
+    "lb_harness",
+    "lb_workloads",
     "nat_harness",
     "nat_workloads",
     "router_fib_routes",
@@ -546,6 +560,230 @@ def nat_adversarial(*, capacity: int = 16, timeout: int = 50) -> Workload:
             rev.pcv_name("t"): capacity,
             rev.pcv_name("e"): capacity,
             rev.pcv_name("w"): wheel_slots,
+        },
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Load balancer
+# --------------------------------------------------------------------------- #
+def colliding_backends(count: int, *, table_size: int) -> List[int]:
+    """Find ``count`` backend ids whose Maglev permutations are identical.
+
+    Backend ids sharing one ``(offset, skip)`` pair walk the same slot
+    permutation, which makes the round-robin fill perform *exactly* its
+    proven worst-case iteration count (see
+    :func:`repro.structures.max_fill_iterations`) — the lever the LB
+    adversarial stream uses to pin ``lb_tbl.f`` to its declared bound.
+    """
+    probe = MaglevTable("probe", table_size=table_size, max_backends=max(count, 1))
+    target = probe.permutation_params(1)
+    ids: List[int] = []
+    candidate = 1
+    while len(ids) < count:
+        if probe.permutation_params(candidate) == target:
+            ids.append(candidate)
+        candidate += 1
+        if candidate >= 1 << 16:  # pragma: no cover - defensive
+            raise RuntimeError("could not find enough colliding backend ids")
+    return ids
+
+
+def lb_harness(
+    capacity: int = 16,
+    timeout: int = 50,
+    *,
+    table_size: int = 13,
+    max_backends: int = 4,
+) -> NFHarness:
+    """A fresh Maglev-style load balancer wired for replay.
+
+    Backends arrive through the replayed control frames, never host-side:
+    the repopulation cost (``lb_tbl.f``) must land in traces for the
+    adversarial bound check to observe it.
+    """
+    tbl, conn = lb_nf.make_lb_state(
+        capacity, timeout, table_size=table_size, max_backends=max_backends
+    )
+    handler = ExternHandler().merge(tbl).merge(conn)
+    return NFHarness(
+        "lb",
+        lb_nf.build_lb_module(),
+        lb_nf.LB_FUNCTION,
+        handler=handler,
+        structures=(tbl, conn),
+        pkt_base=lb_nf.PKT_BASE,
+        sym_bytes=lb_nf.PKT_SYM_BYTES,
+        scalar_order=("len", "cmd", "arg", "time"),
+    )
+
+
+def _lb_control(cmd: int, backend: int, time: int, note: str) -> Stimulus:
+    """A control frame: no packet bytes, the command in the scalars."""
+    return Stimulus(
+        packet=b"", scalars={"cmd": cmd, "arg": backend, "time": time}, note=note
+    )
+
+
+def _lb_data(packet: bytes, time: int, note: str) -> Stimulus:
+    """A data frame: ``cmd = CMD_DATA``, the flow in the packet bytes."""
+    return Stimulus(
+        packet=packet, scalars={"cmd": lb_nf.CMD_DATA, "arg": 0, "time": time}, note=note
+    )
+
+
+def _lb_mixed(
+    rng: random.Random,
+    indices: List[int],
+    flows: List[Tuple[int, int]],
+    backends: List[int],
+    *,
+    note: str,
+) -> List[Stimulus]:
+    """Turn sampled flow indices into a frame mix covering every class.
+
+    Starts by activating every backend (``reconfig``), then streams
+    LAN-side flows; every 17th frame is truncated (``short``), every 11th
+    carries a non-IPv4 EtherType (``non_ip``), and every 29th is a
+    control frame alternately draining and re-activating a rotating
+    backend — flows bound to the drained backend re-select on their next
+    packet (``backend_drained``).
+    """
+    stimuli: List[Stimulus] = [
+        _lb_control(lb_nf.CMD_ADD, backend, 0, note) for backend in backends
+    ]
+    churn = 0
+    for n, index in enumerate(indices):
+        src_ip, src_port = flows[index]
+        time = n * 3
+        if n % 29 == 14:
+            backend = backends[(churn // 2) % len(backends)]
+            cmd = lb_nf.CMD_REMOVE if churn % 2 == 0 else lb_nf.CMD_ADD
+            churn += 1
+            stimuli.append(_lb_control(cmd, backend, time, note))
+            continue
+        if n % 17 == 0:
+            packet = nat_frame(src_ip, src_port, WAN_SERVER, 80)[: rng.randrange(0, 37)]
+        elif n % 11 == 0:
+            packet = nat_frame(src_ip, src_port, WAN_SERVER, 80, ethertype=(0x86, 0xDD))
+        else:
+            packet = nat_frame(src_ip, src_port, WAN_SERVER, 80)
+        stimuli.append(_lb_data(packet, time, note))
+    return stimuli
+
+
+def lb_workloads(
+    *,
+    seed: int = 2019,
+    capacity: int = 16,
+    timeout: int = 50,
+    packets: int = 150,
+    population: int = 12,
+    table_size: int = 13,
+    max_backends: int = 4,
+) -> List[Workload]:
+    """The LB's three evaluation workloads (fresh state per stream)."""
+    rng = random.Random(seed)
+    flows = [
+        (rng.randrange(1 << 32), rng.randrange(1024, 1 << 16)) for _ in range(population)
+    ]
+    backends = rng.sample(range(1, 1 << 16), max_backends)
+    uniform = _lb_mixed(
+        rng, uniform_indices(rng, population, packets), flows, backends, note="uniform"
+    )
+    zipf = _lb_mixed(
+        rng, zipf_indices(rng, population, packets), flows, backends, note="zipf"
+    )
+    geometry = dict(table_size=table_size, max_backends=max_backends)
+    return [
+        Workload("uniform", lb_harness(capacity, timeout, **geometry), tuple(uniform)),
+        Workload("zipf", lb_harness(capacity, timeout, **geometry), tuple(zipf)),
+        lb_adversarial(capacity=capacity, timeout=timeout, **geometry),
+    ]
+
+
+def lb_adversarial(
+    *,
+    capacity: int = 16,
+    timeout: int = 50,
+    table_size: int = 13,
+    max_backends: int = 4,
+) -> Workload:
+    """The LB worst-case stream: data-plane *and* control-plane bounds.
+
+    Phases (times chosen so nothing expires before the final sweep):
+
+    1. ``ctrl_fill`` — activate ``max_backends`` backends whose permutation
+       parameters all collide: each repopulation performs exactly the
+       worst-case fill count for its backend count, and the last one pins
+       ``lb_tbl.f`` to its declared (proven-tight) bound.
+    2. ``churn`` — drain and re-activate one backend: the removal phase
+       the repopulation contract exists for, and the re-add hits the
+       ``lb_tbl.f`` bound a second time.
+    3. ``fill`` — ``capacity`` flows whose keys collide in the connection
+       table are bound, building one maximal chain.
+    4. ``worst_t`` — a frame from the *last* bound flow: the affinity
+       lookup and refresh walk ``conn.t = capacity`` links.
+    5. ``drained`` — the tail flow's backend is drained, then the tail
+       flow re-selects and rebinds (class ``backend_drained``).
+    6. ``no_backends`` — every remaining backend is drained; a fresh flow
+       (select path) and the tail flow (reselect path) are both dropped.
+    7. ``worst_e`` — time jumps beyond a full wheel revolution past every
+       deadline: one sweep advances ``conn.w = wheel_slots`` slots and
+       expires all ``conn.e = capacity`` affinity entries.
+    """
+    harness = lb_harness(
+        capacity, timeout, table_size=table_size, max_backends=max_backends
+    )
+    tbl, conn = harness.structures
+    wheel_slots = conn.wheel_slots
+    backends = colliding_backends(max_backends, table_size=table_size)
+    flows = colliding_keys(capacity, buckets=capacity)
+    flow_set = set(flows)
+
+    stimuli: List[Stimulus] = [
+        _lb_control(lb_nf.CMD_ADD, backend, 0, "ctrl_fill") for backend in backends
+    ]
+    stimuli.append(_lb_control(lb_nf.CMD_REMOVE, backends[0], 0, "churn"))
+    stimuli.append(_lb_control(lb_nf.CMD_ADD, backends[0], 0, "churn"))
+    for i, key in enumerate(flows, start=1):
+        stimuli.append(_lb_data(nat_frame(key >> 16, key & 0xFFFF, WAN_SERVER, 80), i, "fill"))
+    tail = flows[-1]
+    last = len(flows)
+    tail_frame = nat_frame(tail >> 16, tail & 0xFFFF, WAN_SERVER, 80)
+    stimuli.append(_lb_data(tail_frame, last, "worst_t"))
+    # Reconstruct the tail flow's backend on a scratch table (repopulation
+    # is deterministic in the active set) and drain exactly that backend.
+    scratch = MaglevTable("scratch", table_size=table_size, max_backends=max_backends)
+    for backend in backends:
+        scratch.add_backend(backend)
+    drained = scratch.select(tail)
+    stimuli.append(_lb_control(lb_nf.CMD_REMOVE, drained, last, "drained"))
+    stimuli.append(_lb_data(tail_frame, last, "drained"))
+    for backend in backends:
+        if backend != drained:
+            stimuli.append(_lb_control(lb_nf.CMD_REMOVE, backend, last, "no_backends"))
+    fresh = next(k for k in range(1, 1 << 16) if k not in flow_set)
+    stimuli.append(
+        _lb_data(nat_frame(fresh >> 16, fresh & 0xFFFF, WAN_SERVER, 80), last, "no_backends")
+    )
+    stimuli.append(_lb_data(tail_frame, last, "no_backends"))
+    # Latest deadline: the rebind at time `last` plus the timeout.  Jumping
+    # past it by a full revolution makes the sweep advance wheel_slots
+    # slots and visit every deadline slot.
+    doom = last + timeout + wheel_slots + 1
+    stimuli.append(
+        _lb_data(nat_frame(fresh >> 16, fresh & 0xFFFF, WAN_SERVER, 80), doom, "worst_e")
+    )
+    return Workload(
+        "adversarial",
+        harness,
+        tuple(stimuli),
+        expected_worst={
+            conn.pcv_name("t"): capacity,
+            conn.pcv_name("e"): capacity,
+            conn.pcv_name("w"): wheel_slots,
+            tbl.pcv_name("f"): max_fill_iterations(max_backends, table_size),
         },
     )
 

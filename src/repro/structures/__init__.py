@@ -19,6 +19,10 @@ Structures:
   IPv4 addresses (PCV ``d``, trie depth); backs the LPM router.
 * :class:`~repro.structures.portalloc.PortAllocator` — constant-time port
   lease pool (no PCVs); backs the NAT's external-port allocation.
+* :class:`~repro.structures.maglev.MaglevTable` — Maglev-style
+  consistent-hash lookup table (PCV ``f``, fill iterations per
+  repopulation — the library's first control-plane-dominated cost); backs
+  the load balancer's backend selection.
 
 Structure *kinds* document their cost formulas over local PCV symbols;
 every *instance* emits them instance-qualified (``fwd.t`` vs ``rev.t``),
@@ -38,6 +42,7 @@ from repro.structures.base import (
 from repro.structures.expiring import ExpiringMap
 from repro.structures.hashmap import ChainingHashMap
 from repro.structures.lpm import LpmTrie
+from repro.structures.maglev import MaglevTable, max_fill_iterations
 from repro.structures.portalloc import PortAllocator
 from repro.structures.validation import (
     OperationCheck,
@@ -51,6 +56,7 @@ __all__ = [
     "ChainingHashMap",
     "ExpiringMap",
     "LpmTrie",
+    "MaglevTable",
     "OpSpec",
     "OperationCheck",
     "PortAllocator",
@@ -61,5 +67,6 @@ __all__ = [
     "bounded_value_constraint",
     "check_extern_collisions",
     "linear_cost",
+    "max_fill_iterations",
     "validate_structure_contract",
 ]

@@ -24,6 +24,18 @@ The wheel must have more slots than the timeout spans ticks
 (``wheel_slots > timeout``): every live deadline then lies at most one full
 revolution ahead, so a sweep capped at ``wheel_slots`` advanced slots never
 misses an expired entry.
+
+**PCVs.**  ``t`` — chain links inspected (bound ``capacity``, as in
+:mod:`repro.structures.hashmap`); ``w`` — wheel slots advanced by one
+sweep (bound ``wheel_slots``: the advance is capped at one revolution);
+``e`` — entries expired by one sweep (bound ``capacity``).
+
+**Worst case.**  All three bounds are attained by one two-phase stream:
+insert ``capacity`` colliding keys (a tail refresh then inspects
+``t = capacity`` links), and jump time a full revolution past every
+deadline (one sweep advances ``w = wheel_slots`` slots and expires
+``e = capacity`` entries) — the shape of every ``*_adversarial`` workload
+built on this structure.
 """
 
 from __future__ import annotations

@@ -20,6 +20,15 @@ The concrete handlers charge these formulas at the observed ``t``, minus a
 small fast-path discount where the real code does less work (a miss skips
 the value copy, a refreshing ``put`` skips the link allocation), so the
 contract is a genuine upper bound on the traced executions.
+
+**PCVs.**  ``t`` — chain links inspected by one operation, declared with
+``max_value = capacity``: with a fixed allocation, one bucket can hold at
+most every stored entry.
+
+**Worst case.**  ``t = capacity`` requires ``capacity`` keys sharing one
+bucket — constructible for any geometry by hash search
+(:func:`repro.nf.workloads.colliding_keys`), which is how the bridge and
+NAT adversarial streams drive their tables' ``t`` to the declared bound.
 """
 
 from __future__ import annotations

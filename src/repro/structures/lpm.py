@@ -18,6 +18,18 @@ operation   instructions        memory accesses
 ==========  ==================  ===================
 ``lookup``  ``3 + 5·d``         ``1 + 2·d``
 ==========  ==================  ===================
+
+**PCVs.**  ``d`` — trie nodes visited by one lookup, declared with
+``max_value = 33`` (:data:`MAX_DEPTH`): the root plus one node per
+address bit, a bound fixed by IPv4 itself rather than by configuration.
+
+**Worst case.**  ``d = 33`` requires a FIB with a route chain covering
+every prefix length 1–32 along the looked-up address —
+:func:`repro.nf.workloads.router_fib_routes` installs exactly that chain
+and the router's adversarial stream routes its tip, so the bound is
+provably attained (not just declared).  A miss below an empty root costs
+``d = 1``; the miss fast path charges one instruction under the formula
+(no next-hop copy), keeping the contract strict.
 """
 
 from __future__ import annotations

@@ -22,6 +22,20 @@ operation    instructions    memory accesses
 ``alloc``    ``6``           ``2``
 ``release``  ``5``           ``2``
 ===========  ==============  ===============
+
+**PCVs: none.**  A LIFO free list pops and pushes at the tail whatever
+the pool size or lease pattern, so no state-dependent variable exists to
+parameterise — the structure's contribution to any NF contract is the
+constant rows above.
+
+**Worst case.**  Identical to the best case, by construction: ``alloc``
+is one pop plus one membership insert, ``release`` one membership discard
+plus one push, regardless of history.  (The allocator still *shapes*
+worst cases elsewhere: the NAT's adversarial stream chooses a pool whose
+ports collide in the reverse flow table, driving ``rev.t`` — the
+state-dependent cost lives in the map, not here.)  The only fast paths
+are the exhausted ``alloc`` and the unknown-port ``release``, each one
+instruction cheaper than the formula.
 """
 
 from __future__ import annotations

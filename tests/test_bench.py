@@ -16,7 +16,7 @@ def test_bench_writes_a_green_report(tmp_path, capsys):
     report = json.loads(output.read_text())
     assert report["schema"] == "repro-bench/1"
     assert report["ok"] is True
-    assert set(report["nfs"]) == {"bridge", "router", "nat"}
+    assert set(report["nfs"]) == {"bridge", "router", "nat", "lb"}
     assert set(report["hw_models"]) == {"conservative", "realistic"}
     for nf, record in report["nfs"].items():
         assert record["failures"] == 0
@@ -58,6 +58,25 @@ def test_bench_writes_a_green_report(tmp_path, capsys):
         "no_ports",
         "external_hit",
         "external_miss",
+    }
+    # The LB adversarial stream pins the connection-table bounds AND the
+    # control-plane repopulation bound (the proven-tight Maglev fill count).
+    lb_worst = report["nfs"]["lb"]["workloads"]["adversarial"]["worst_case"]
+    assert {pcv: check["observed"] for pcv, check in lb_worst.items()} == {
+        "conn.t": 16,
+        "conn.e": 16,
+        "conn.w": 51,
+        "lb_tbl.f": 46,
+    }
+    # All seven LB contract classes were exercised across its workloads.
+    assert set(report["nfs"]["lb"]["classes_seen"]) == {
+        "short",
+        "non_ip",
+        "reconfig",
+        "new_flow",
+        "existing_flow",
+        "backend_drained",
+        "no_backends",
     }
 
 

@@ -1,0 +1,167 @@
+"""Direct tests for `repro.cli` itself.
+
+CI exercises the CLI's green paths (contract-smoke, bench-smoke); these
+tests pin the *red* paths — a seeded contract violation must flip the
+exit code — and the shape of the BENCH_eval.json artifact.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import cli
+from repro.core import Metric, PerfExpr
+from repro.nf.workloads import bridge_adversarial
+from repro.structures import ChainingHashMap, OpSpec
+
+
+@pytest.fixture
+def quiet_nf_matrix(monkeypatch):
+    """Silence the NF half of smoke so structure tests stay fast."""
+    monkeypatch.setattr(cli, "NF_MATRIX", ())
+
+
+class DriftingMap(ChainingHashMap):
+    """A structure whose documented contract drifts between reads.
+
+    The hand contract and the symbolic model read ``ops()`` at different
+    moments; a promise that changes between the two is exactly the
+    inconsistency `python -m repro.cli smoke` must turn into a non-zero
+    exit.
+    """
+
+    def __init__(self, name, **kwargs):
+        self._drift = 0
+        super().__init__(name, **kwargs)
+
+    def ops(self):
+        base = super().ops()
+        self._drift += 1
+        get = base[0]
+        drifted = dict(get.cost)
+        drifted[Metric.INSTRUCTIONS] = (
+            drifted[Metric.INSTRUCTIONS] + self._drift * PerfExpr.var("t")
+        )
+        return (
+            OpSpec(
+                get.method,
+                get.arity,
+                get.returns_value,
+                drifted,
+                get.pcvs,
+                get.description,
+            ),
+        ) + tuple(base[1:])
+
+
+def test_structure_validation_flags_a_drifting_contract(capsys):
+    failures = cli.run_structure_validation([DriftingMap("m", capacity=8)])
+    assert failures == 1
+    assert "FAIL" in capsys.readouterr().out
+
+
+def test_default_structure_validation_guards_exported_coverage(monkeypatch, capsys):
+    """Dropping a structure from the smoke list must fail the default run."""
+    monkeypatch.setattr(
+        cli, "smoke_structures", lambda: [ChainingHashMap("flow_map", capacity=8)]
+    )
+    failures = cli.run_structure_validation()
+    printed = capsys.readouterr().out
+    assert failures >= 1
+    assert "not covered by the smoke run" in printed
+
+
+def test_smoke_exit_code_reflects_seeded_failures(monkeypatch, capsys, quiet_nf_matrix):
+    monkeypatch.setattr(cli, "smoke_structures", lambda: [DriftingMap("m", capacity=8)])
+    # The guard fires too (exported structures are not covered), but the
+    # seeded StructureContractError must be in the output and the exit
+    # code non-zero.
+    assert cli.main(["smoke"]) == 1
+    printed = capsys.readouterr().out
+    assert "SMOKE FAILED" in printed
+    assert "hand contract promises" in printed
+
+
+def test_nf_contracts_flag_a_lost_input_class(monkeypatch, capsys):
+    bridge = next(spec for spec in cli.NF_MATRIX if spec.name == "bridge")
+    doctored = cli.NFSpec(
+        bridge.name,
+        bridge.title,
+        bridge.smoke_contract,
+        bridge.bench_contract,
+        bridge.bench_workloads,
+        bridge.expected_classes | {"jumbo"},
+    )
+    failures = cli.run_nf_contracts([doctored])
+    printed = capsys.readouterr().out
+    assert failures == 1
+    assert "lost input classes" in printed and "jumbo" in printed
+
+
+def test_bench_exits_nonzero_when_a_worst_case_is_missed(monkeypatch, capsys, tmp_path):
+    """Seed an unreachable adversarial bound: the bench must go red."""
+    bridge = next(spec for spec in cli.NF_MATRIX if spec.name == "bridge")
+
+    def sabotaged_workloads(seed, packets):
+        workload = bridge_adversarial(capacity=cli.BENCH_CAPACITY, timeout=cli.BENCH_TIMEOUT)
+        impossible = {pcv: bound + 1 for pcv, bound in workload.expected_worst.items()}
+        from repro.nf.workloads import Workload
+
+        return [
+            Workload(workload.name, workload.harness, workload.stimuli, impossible)
+        ]
+
+    doctored = cli.NFSpec(
+        bridge.name,
+        bridge.title,
+        bridge.smoke_contract,
+        bridge.bench_contract,
+        sabotaged_workloads,
+        frozenset(),
+    )
+    monkeypatch.setattr(cli, "NF_MATRIX", (doctored,))
+    output = tmp_path / "BENCH_eval.json"
+    assert cli.main(["bench", "--output", str(output)]) == 1
+    printed = capsys.readouterr().out
+    assert "MISSED" in printed and "BENCH FAILED" in printed
+    report = json.loads(output.read_text())
+    assert report["ok"] is False
+
+
+def test_docs_consistency_script_passes():
+    """`tools/check_docs.py` (the CI docs-check job) stays green: every
+    registered NF/structure documented, README quickstart runs verbatim."""
+    repo = Path(cli.__file__).resolve().parents[2]
+    result = subprocess.run(
+        [sys.executable, str(repo / "tools" / "check_docs.py")],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "DOCS CHECK OK" in result.stdout
+
+
+def test_bench_writes_a_well_formed_report(monkeypatch, tmp_path):
+    """The artifact schema CI archives: every NF, workload, model present."""
+    output = tmp_path / "BENCH_eval.json"
+    assert cli.main(["bench", "--output", str(output), "--packets", "60"]) == 0
+    report = json.loads(output.read_text())
+    assert report["schema"] == "repro-bench/1"
+    assert report["ok"] is True
+    assert report["packets_per_workload"] == 60
+    assert set(report["nfs"]) == {spec.name for spec in cli.NF_MATRIX}
+    assert set(report["hw_models"]) == {"conservative", "realistic"}
+    for spec in cli.NF_MATRIX:
+        record = report["nfs"][spec.name]
+        assert record["failures"] == 0
+        assert set(record["workloads"]) == {"uniform", "zipf", "adversarial"}
+        assert spec.expected_classes <= set(record["classes_seen"])
+        for workload in record["workloads"].values():
+            assert workload["ok"] is True
+            assert {"packets", "classes", "max_pcvs", "cycle_envelopes"} <= set(workload)
+        worst = record["workloads"]["adversarial"]["worst_case"]
+        assert worst and all(check["hit"] for check in worst.values())

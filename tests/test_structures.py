@@ -13,6 +13,7 @@ from repro.structures import (
     ChainingHashMap,
     ExpiringMap,
     LpmTrie,
+    MaglevTable,
     OpSpec,
     PortAllocator,
     Structure,
@@ -290,6 +291,7 @@ def test_port_allocator_contract_bounds_100_traced_operations():
         ExpiringMap("em", capacity=8, timeout=30, value_bound=64),
         LpmTrie("rt", value_bound=64),
         PortAllocator("ports", pool=range(1024, 1032)),
+        MaglevTable("tbl", table_size=7, max_backends=3, value_bound=1 << 16),
     ],
     ids=lambda s: s.kind,
 )

@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Docs-consistency check: the documentation must track the registries.
+
+Run by the CI ``docs-check`` job (and directly: ``python
+tools/check_docs.py``).  Two guarantees:
+
+1. **Coverage** — every NF in :data:`repro.cli.NF_MATRIX` and every
+   structure class in :func:`repro.cli.smoke_structures` (i.e. everything
+   the CLI smoke output lists) has a section in ``docs/CONTRACTS.md``,
+   and every NF appears in ``docs/ARCHITECTURE.md``'s module map.
+2. **Quickstart** — the fenced ``python`` code blocks of the README run
+   verbatim, in order, in one shared namespace (they build on each
+   other), so the copy-pasteable quickstart cannot rot.
+
+Exits non-zero with one line per failure.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import sys
+from contextlib import redirect_stdout
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.cli import NF_MATRIX, smoke_structures  # noqa: E402
+
+
+def python_blocks(markdown: str) -> list[str]:
+    """Extract the contents of ```python fenced blocks, in order."""
+    return re.findall(r"```python\n(.*?)```", markdown, flags=re.DOTALL)
+
+
+def check_contract_docs(failures: list[str]) -> None:
+    contracts = (REPO / "docs" / "CONTRACTS.md").read_text(encoding="utf-8")
+    architecture = (REPO / "docs" / "ARCHITECTURE.md").read_text(encoding="utf-8")
+    for structure in smoke_structures():
+        cls = type(structure).__name__
+        if f"`{cls}`" not in contracts:
+            failures.append(
+                f"docs/CONTRACTS.md: no section for structure {cls} "
+                "(smoke validates it; document its cost table)"
+            )
+    for spec in NF_MATRIX:
+        # Every NF needs a contract discussion and a module-map presence.
+        if not re.search(rf"\b{re.escape(spec.name)}\b", contracts, flags=re.IGNORECASE):
+            failures.append(
+                f"docs/CONTRACTS.md: no section for NF {spec.name!r} "
+                "(the bench runs it; document its contract)"
+            )
+        # The module map lists NF modules as `repro.nf.bridge` / `router`
+        # / `nat` / `lb`; normalise the backtick-slash styling away.
+        flat = architecture.replace("`", "").replace(" / ", " ")
+        if f"repro.nf.{spec.name}" not in flat and f" {spec.name} " not in flat:
+            failures.append(
+                f"docs/ARCHITECTURE.md: NF {spec.name!r} missing from the module map"
+            )
+        missing = [
+            name for name in sorted(spec.expected_classes) if f"`{name}`" not in contracts
+        ]
+        if missing:
+            failures.append(
+                f"docs/CONTRACTS.md: NF {spec.name!r} input classes never "
+                f"mentioned: {missing}"
+            )
+
+
+def check_readme_quickstart(failures: list[str]) -> None:
+    readme = (REPO / "README.md").read_text(encoding="utf-8")
+    blocks = python_blocks(readme)
+    if not blocks:
+        failures.append("README.md: no fenced python quickstart blocks found")
+        return
+    namespace: dict = {}
+    for index, block in enumerate(blocks):
+        sink = io.StringIO()
+        try:
+            with redirect_stdout(sink):
+                exec(compile(block, f"README.md#python-block-{index}", "exec"), namespace)
+        except Exception as error:  # noqa: BLE001 - report and keep checking
+            failures.append(f"README.md python block {index} failed: {error!r}")
+            return  # later blocks build on this namespace; stop here
+    print(f"README quickstart: {len(blocks)} python blocks ran verbatim")
+
+
+def main() -> int:
+    failures: list[str] = []
+    check_contract_docs(failures)
+    check_readme_quickstart(failures)
+    structures = ", ".join(sorted({type(s).__name__ for s in smoke_structures()}))
+    nfs = ", ".join(spec.name for spec in NF_MATRIX)
+    print(f"checked structures: {structures}")
+    print(f"checked NFs: {nfs}")
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    print("DOCS CHECK FAILED" if failures else "DOCS CHECK OK")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
