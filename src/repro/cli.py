@@ -17,6 +17,13 @@
     its declared bound, and writes the whole record to a ``BENCH_*.json``
     CI archives as an artifact.
 
+    The bench is throughput-grade: each (NF, workload) cell is an
+    independent job whose stimuli are derived from a per-cell seed, so
+    the matrix fans out across a ``--workers``-sized process pool (default:
+    all CPUs) and the report is bit-identical for every worker count.
+    Cells record their wall clock and replay rate; ``--profile`` runs one
+    cell under cProfile instead of the full matrix.
+
 Both the smoke structures (:func:`smoke_structures`) and the NF matrix
 (:data:`NF_MATRIX`) are module-level registries: adding a structure or an
 NF means appending one entry, and ``tools/check_docs.py`` walks the same
@@ -32,8 +39,12 @@ from __future__ import annotations
 
 import argparse
 import json
+import multiprocessing
+import os
 import sys
-from dataclasses import dataclass
+import time
+import zlib
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 import repro.structures as structures_pkg
@@ -62,6 +73,7 @@ from repro.structures import (
     StructureContractError,
     validate_structure_contract,
 )
+from repro.sym.solver import Solver
 from repro.traffic import Replayer
 
 #: Input classes each NF contract must keep covering.
@@ -93,7 +105,7 @@ EXPECTED_LB_CLASSES = frozenset(
 #: Bench defaults: table geometries and per-workload packet budget.
 BENCH_CAPACITY = 16
 BENCH_TIMEOUT = 50
-BENCH_PACKETS = 150
+BENCH_PACKETS = 10_000
 BENCH_SEED = 2019
 BENCH_OUTPUT = "BENCH_eval.json"
 #: LB-specific geometry: Maglev slots (prime) and the backend ceiling.
@@ -237,6 +249,7 @@ def run_structure_validation(structures: Optional[Sequence[Structure]] = None) -
 def run_nf_contracts(specs: Optional[Sequence[NFSpec]] = None) -> int:
     """Generate and render every NF contract; check their input classes."""
     failures = 0
+    before = replace(Solver.TOTALS)
     for spec in NF_MATRIX if specs is None else specs:
         _section(spec.title)
         contract = spec.smoke_contract()
@@ -247,6 +260,17 @@ def run_nf_contracts(specs: Optional[Sequence[NFSpec]] = None) -> int:
         if missing:
             failures += 1
             print(f"FAIL: contract lost input classes {sorted(missing)}")
+    # Each generator builds its own solver; the class-level aggregate is
+    # how the memoisation layer stays observable from out here.
+    totals = Solver.TOTALS
+    print(
+        "\nsolver cache across contract generation: "
+        f"{totals.cache_hits - before.cache_hits} hits "
+        f"({totals.prefix_pruned - before.prefix_pruned} prefix-pruned), "
+        f"{totals.cache_misses - before.cache_misses} misses, "
+        f"{totals.dedup_dropped - before.dedup_dropped} duplicates dropped, "
+        f"{totals.simplify_reused - before.simplify_reused} simplifications reused"
+    )
     return failures
 
 
@@ -261,54 +285,103 @@ def run_smoke() -> int:
 # --------------------------------------------------------------------------- #
 # bench: measured vs predicted under workloads and hardware models
 # --------------------------------------------------------------------------- #
-def _bench_nf(
-    nf_name: str,
-    contract,
-    workloads: List[Workload],
-    models: List[CycleModel],
-    expected_classes: FrozenSet[str],
-) -> Dict[str, object]:
-    """Replay one NF's workloads; return its JSON record (with failures)."""
-    failures = 0
-    record: Dict[str, object] = {"contract_classes": contract.class_names(), "workloads": {}}
-    classes_seen: set = set()
-    for workload in workloads:
-        result = Replayer(workload.harness, contract, models=models).replay(
-            workload.stimuli, workload=workload.name
-        )
-        print()
-        print(result.table())
-        payload = result.to_json()
-        failures += len(result.violations)
-        for message in result.violations[:10]:
-            print(f"FAIL: {message}")
-        classes_seen.update(name for name in result.classes_seen() if name != "<unclassified>")
-        if workload.expected_worst:
-            worst = worst_case_report(result.max_pcvs, workload.expected_worst)
-            payload["worst_case"] = worst
-            for pcv, check in worst.items():
-                status = "hit" if check["hit"] else "MISSED"
-                print(
-                    f"  adversarial worst case for {pcv}: observed "
-                    f"{check['observed']} / bound {check['bound']} -> {status}"
-                )
-                if not check["hit"]:
-                    failures += 1
-        record["workloads"][workload.name] = payload  # type: ignore[index]
-    missing = expected_classes - classes_seen
-    if missing:
-        failures += 1
-        print(f"FAIL: {nf_name} workloads never exercised classes {sorted(missing)}")
-    record["classes_seen"] = sorted(classes_seen)
-    record["failures"] = failures
-    # Show what the hardware models make of the contract, distilled.
-    for model in models:
-        report = Distiller(contract).distill_cycles(
-            model, structures=tuple(workloads[0].harness.structures)
-        )
-        print()
-        print(report.render())
-    return record
+def _bench_models() -> List[CycleModel]:
+    """The hardware models every bench cell prices cycles under."""
+    return [ConservativeModel(), RealisticModel()]
+
+
+def _cell_seed(seed: int, nf_name: str, workload_name: str) -> int:
+    """Derive one bench cell's workload seed.
+
+    A cell's stimuli depend only on the bench seed and the cell's own
+    identity — never on which worker ran it or in what order — so the
+    report is bit-identical for every ``--workers`` value.
+    """
+    return zlib.crc32(f"{seed}:{nf_name}:{workload_name}".encode()) & 0x7FFFFFFF
+
+
+def _bench_cell(task: Tuple[str, str, int, int]) -> Dict[str, object]:
+    """Run one (NF, workload) bench cell; return a picklable summary.
+
+    Runs in a pool worker: the NF is rebuilt from :data:`NF_MATRIX` by
+    name (specs hold closures, so tasks ship plain tuples instead), and
+    everything destined for the terminal comes back as ``text`` so the
+    parent prints cells in matrix order regardless of completion order.
+    """
+    nf_name, workload_name, seed, packets = task
+    spec = next(spec for spec in NF_MATRIX if spec.name == nf_name)
+    contract = spec.bench_contract()
+    workloads = spec.bench_workloads(_cell_seed(seed, nf_name, workload_name), packets)
+    workload = next(workload for workload in workloads if workload.name == workload_name)
+    started = time.perf_counter()
+    result = Replayer(workload.harness, contract, models=_bench_models()).replay(
+        workload.stimuli, workload=workload.name
+    )
+    wall = max(time.perf_counter() - started, 1e-9)
+    failures = len(result.violations)
+    lines = [
+        "",
+        result.table(),
+        f"  throughput: {result.packets} packets in {wall:.3f}s "
+        f"({result.packets / wall:,.0f} pkt/s)",
+    ]
+    for message in result.violations[:10]:
+        lines.append(f"FAIL: {message}")
+    payload = result.to_json()
+    if workload.expected_worst:
+        worst = worst_case_report(result.max_pcvs, workload.expected_worst)
+        payload["worst_case"] = worst
+        for pcv, check in worst.items():
+            status = "hit" if check["hit"] else "MISSED"
+            lines.append(
+                f"  adversarial worst case for {pcv}: observed "
+                f"{check['observed']} / bound {check['bound']} -> {status}"
+            )
+            if not check["hit"]:
+                failures += 1
+    payload["wall_clock_s"] = round(wall, 6)
+    payload["packets_per_sec"] = round(result.packets / wall, 3)
+    return {
+        "workload": workload_name,
+        "payload": payload,
+        "text": "\n".join(lines),
+        "classes": sorted(name for name in result.classes_seen() if name != "<unclassified>"),
+        "failures": failures,
+        "packets": result.packets,
+        "wall_clock_s": wall,
+    }
+
+
+def _run_cells(tasks: List[Tuple[str, str, int, int]], workers: int) -> List[Dict[str, object]]:
+    """Run bench cells, fanning out across processes when it can help.
+
+    Fork is required (not just preferred): workers must see the parent's
+    live registry — tests swap :data:`NF_MATRIX` for doctored specs — and
+    a spawned interpreter would re-import the pristine module.  Without
+    fork (or with one worker) the cells run inline, in order.
+    """
+    if workers > 1 and len(tasks) > 1 and "fork" in multiprocessing.get_all_start_methods():
+        context = multiprocessing.get_context("fork")
+        with context.Pool(min(workers, len(tasks))) as pool:
+            return pool.map(_bench_cell, tasks)
+    return [_bench_cell(task) for task in tasks]
+
+
+def _profile_cell(task: Tuple[str, str, int, int]) -> int:
+    """Run one bench cell under cProfile; print the top cumulative entries."""
+    import cProfile
+    import pstats
+
+    nf_name, workload_name, _, packets = task
+    _section(f"profile: {nf_name}/{workload_name} at {packets} packets")
+    profiler = cProfile.Profile()
+    profiler.enable()
+    cell = _bench_cell(task)
+    profiler.disable()
+    print(cell["text"])
+    print()
+    pstats.Stats(profiler, stream=sys.stdout).sort_stats("cumulative").print_stats(20)
+    return 0
 
 
 def run_bench(
@@ -316,9 +389,29 @@ def run_bench(
     output: str = BENCH_OUTPUT,
     packets: int = BENCH_PACKETS,
     seed: int = BENCH_SEED,
+    workers: Optional[int] = None,
+    profile: bool = False,
 ) -> int:
     """Replay every NF under all workloads; write the BENCH_*.json report."""
-    models: List[CycleModel] = [ConservativeModel(), RealisticModel()]
+    started = time.perf_counter()
+    workers = max(1, workers if workers is not None else os.cpu_count() or 1)
+    models = _bench_models()
+    # One cheap factory call per NF names its workloads (and provides the
+    # structure instances the distilled views attribute costs to); the
+    # real per-cell streams are built inside the cells themselves.
+    plan = [
+        (spec, spec.bench_workloads(_cell_seed(seed, spec.name, "<cells>"), 1))
+        for spec in NF_MATRIX
+    ]
+    tasks = [
+        (spec.name, workload.name, seed, packets)
+        for spec, workloads in plan
+        for workload in workloads
+    ]
+    if profile:
+        return _profile_cell(tasks[0])
+    cells = _run_cells(tasks, workers)
+
     report: Dict[str, object] = {
         "schema": "repro-bench/1",
         "command": "python -m repro.cli bench",
@@ -328,23 +421,56 @@ def run_bench(
         "nfs": {},
     }
     failures = 0
-    for spec in NF_MATRIX:
+    total_packets = 0
+    cursor = 0
+    for spec, workloads in plan:
         _section(f"bench: {spec.title.removeprefix('NF: ')}")
-        record = _bench_nf(
-            spec.name,
-            spec.bench_contract(),
-            spec.bench_workloads(seed, packets),
-            models,
-            spec.expected_classes,
-        )
-        failures += int(record["failures"])  # type: ignore[arg-type]
+        contract = spec.bench_contract()
+        record: Dict[str, object] = {"contract_classes": contract.class_names(), "workloads": {}}
+        classes_seen: set = set()
+        nf_failures = 0
+        for _ in workloads:
+            cell = cells[cursor]
+            cursor += 1
+            print(cell["text"])
+            record["workloads"][cell["workload"]] = cell["payload"]  # type: ignore[index]
+            classes_seen.update(cell["classes"])  # type: ignore[arg-type]
+            nf_failures += cell["failures"]  # type: ignore[operator]
+            total_packets += cell["packets"]  # type: ignore[operator]
+        missing = spec.expected_classes - classes_seen
+        if missing:
+            nf_failures += 1
+            print(f"FAIL: {spec.name} workloads never exercised classes {sorted(missing)}")
+        record["classes_seen"] = sorted(classes_seen)
+        record["failures"] = nf_failures
+        failures += nf_failures
+        # Show what the hardware models make of the contract, distilled.
+        for model in models:
+            distilled = Distiller(contract).distill_cycles(
+                model, structures=tuple(workloads[0].harness.structures)
+            )
+            print()
+            print(distilled.render())
         report["nfs"][spec.name] = record  # type: ignore[index]
 
+    elapsed = max(time.perf_counter() - started, 1e-9)
+    # Timing lives under one key so consumers comparing reports across
+    # worker counts can drop the only legitimately varying subtree.
+    report["timing"] = {
+        "packets_total": total_packets,
+        "packets_per_sec": round(total_packets / elapsed, 3),
+        "wall_clock_s": round(elapsed, 6),
+        "workers": workers,
+    }
     report["ok"] = failures == 0
     with open(output, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
     print()
+    print(
+        f"replayed {total_packets} packets in {elapsed:.2f}s "
+        f"({total_packets / elapsed:,.0f} pkt/s, workers={workers})"
+    )
     print(f"wrote {output}")
     print("BENCH FAILED" if failures else "BENCH OK: measured <= predicted on every packet")
     return 1 if failures else 0
@@ -366,9 +492,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--packets", type=int, default=BENCH_PACKETS, help="packets per uniform/zipf workload"
     )
     bench.add_argument("--seed", type=int, default=BENCH_SEED, help="workload RNG seed")
+    bench.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="bench cells run in parallel (default: all CPUs); the report "
+        "is bit-identical for every value",
+    )
+    bench.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile one bench cell under cProfile and exit",
+    )
     args = parser.parse_args(argv)
     if args.command == "bench":
-        return run_bench(output=args.output, packets=args.packets, seed=args.seed)
+        return run_bench(
+            output=args.output,
+            packets=args.packets,
+            seed=args.seed,
+            workers=args.workers,
+            profile=args.profile,
+        )
     return run_smoke()
 
 

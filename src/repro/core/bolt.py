@@ -36,7 +36,7 @@ from repro.nfil.program import Module
 from repro.sym.engine import SymbolicEngine, SymbolicModel
 from repro.sym.expr import BV
 from repro.sym.paths import Path
-from repro.sym.solver import Solver
+from repro.sym.solver import Solver, SolverStats
 from repro.sym.state import SymbolicMemory
 
 __all__ = ["Bolt", "BoltConfig"]
@@ -96,6 +96,27 @@ class Bolt:
         self.registry = registry or PCVRegistry()
         self.config = config or BoltConfig()
         self.paths: List[Path] = []
+        self._solver: Optional[Solver] = None
+
+    @property
+    def solver(self) -> Solver:
+        """The solver used by exploration, created lazily and retained.
+
+        Retention matters: the solver memoises canonical constraint forms
+        and UNSAT path-condition prefixes (see :class:`repro.sym.solver.
+        Solver`), so repeated explorations of the same module reuse each
+        other's verdicts instead of re-solving from scratch.
+        """
+        if self.config.solver is not None:
+            return self.config.solver
+        if self._solver is None:
+            self._solver = Solver()
+        return self._solver
+
+    @property
+    def solver_stats(self) -> SolverStats:
+        """Counters of the retained solver (cache hits, prunes, ...)."""
+        return self.solver.stats
 
     # ------------------------------------------------------------------ #
     # Algorithm 2
@@ -111,7 +132,7 @@ class Bolt:
         engine = SymbolicEngine(
             self.module,
             model=self.model,
-            solver=self.config.solver or Solver(),
+            solver=self.solver,
             max_paths=self.config.max_paths,
             max_steps=self.config.max_steps,
         )

@@ -17,9 +17,10 @@ names, with repetition for powers) to coefficients.  The empty monomial
 
 from __future__ import annotations
 
+import math
 import re
 from fractions import Fraction
-from typing import Dict, Iterable, Mapping, Tuple, Union
+from typing import Callable, Dict, Iterable, Mapping, Tuple, Union
 
 Number = Union[int, float, Fraction]
 Monomial = Tuple[str, ...]
@@ -206,6 +207,42 @@ class PerfExpr:
         """Evaluate and round up to an integer (costs are counts)."""
         value = self.evaluate(bindings)
         return int(-(-value.numerator // value.denominator))  # ceil
+
+    def denominator_lcm(self) -> int:
+        """Return the LCM of all coefficient denominators (1 when empty).
+
+        Any multiple of this value is a valid ``scale`` for
+        :meth:`compile_scaled`: it clears every fraction, so the compiled
+        evaluator works in exact integers.
+        """
+        value = 1
+        for coeff in self._terms.values():
+            value = math.lcm(value, coeff.denominator)
+        return value
+
+    def compile_scaled(self, scale: int) -> Callable[[Mapping[str, Number]], int]:
+        """Compile into ``f(bindings) -> int`` returning ``evaluate() * scale``.
+
+        The replay hot loop calls contract polynomials per packet;
+        :meth:`evaluate` pays Fraction arithmetic and a dict-driven tree
+        walk every time.  The compiled closure is a single generated
+        Python expression over integer coefficients — exact, provided
+        ``scale`` is a multiple of :meth:`denominator_lcm` (a
+        ``ValueError`` guards this).  Divide by ``scale`` (or keep the
+        scaled units) at report time only.
+        """
+        parts: list[str] = []
+        for monomial, coeff in sorted(self._terms.items()):
+            scaled = coeff * scale
+            if scaled.denominator != 1:
+                raise ValueError(
+                    f"scale {scale} does not clear coefficient {coeff} "
+                    f"(need a multiple of {self.denominator_lcm()})"
+                )
+            factors = [str(scaled.numerator)] + [f"b[{name!r}]" for name in monomial]
+            parts.append(" * ".join(factors))
+        source = "lambda b: " + (" + ".join(parts) if parts else "0")
+        return eval(source, {})  # noqa: S307 - generated from our own terms
 
     def rename(self, mapping: Mapping[str, str]) -> "PerfExpr":
         """Return the expression with PCV names replaced per ``mapping``.

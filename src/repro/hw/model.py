@@ -42,9 +42,10 @@ preserve the inequality packet by packet — which is exactly what
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Dict, Mapping, Optional, Sequence, Union
+from typing import Callable, Dict, Mapping, Optional, Sequence, Union
 
 from repro.core.contract import ContractEntry, Metric, PerformanceContract
 from repro.core.perfexpr import Monomial, Number, PerfExpr
@@ -251,6 +252,63 @@ class CycleModel:
             owner = owners.get(call.name)
             cycles += Fraction(call.memory_accesses) * self.structure_access_cycles(owner)
         return cycles
+
+    def price_denominator(self, structures: Sequence[Structure] = ()) -> int:
+        """LCM of the denominators of every per-unit price this model uses.
+
+        Any multiple of this value is a valid ``scale`` for
+        :meth:`compile_measure`.
+        """
+        value = math.lcm(
+            self.instruction_cycles().denominator,
+            self.stateless_access_cycles().denominator,
+            self.structure_access_cycles(None).denominator,
+        )
+        for structure in structures:
+            value = math.lcm(value, self.structure_access_cycles(structure).denominator)
+        return value
+
+    def compile_measure(
+        self, structures: Sequence[Structure] = (), *, scale: int = 1
+    ) -> Callable[[ExecutionTrace], int]:
+        """Compile :meth:`measure` into ``f(trace) -> cycles * scale`` (int).
+
+        Per-unit prices are resolved and scaled to exact integers once;
+        the returned closure prices a trace with plain integer arithmetic,
+        which is what lets the replayer check measured ≤ predicted per
+        packet without any ``Fraction`` work in the hot loop.  ``scale``
+        must be a multiple of :meth:`price_denominator` (``ValueError``
+        otherwise).
+        """
+
+        def price(value: Fraction) -> int:
+            scaled = value * scale
+            if scaled.denominator != 1:
+                raise ValueError(
+                    f"scale {scale} does not clear price {value} (need a "
+                    f"multiple of {self.price_denominator(structures)})"
+                )
+            return scaled.numerator
+
+        instruction = price(self.instruction_cycles())
+        stateless = price(self.stateless_access_cycles())
+        unknown = price(self.structure_access_cycles(None))
+        owners = self.call_owners(structures)
+        by_extern = {
+            name: price(self.structure_access_cycles(structure))
+            for name, structure in owners.items()
+        }
+
+        def measure(trace: ExecutionTrace, _get=by_extern.get) -> int:
+            cycles = (
+                trace.total_instructions() * instruction
+                + trace.memory_accesses * stateless
+            )
+            for call in trace.extern_calls:
+                cycles += call.memory_accesses * _get(call.name, unknown)
+            return cycles
+
+        return measure
 
 
 class ConservativeModel(CycleModel):

@@ -16,7 +16,7 @@ that matches the execution back to a symbolic path.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.nfil.interpreter import ExternHandler, Interpreter, Memory
 from repro.nfil.program import Module
@@ -25,6 +25,17 @@ from repro.structures.base import Structure, check_extern_collisions
 from repro.traffic.generators import Stimulus
 
 __all__ = ["NFHarness", "replay_env"]
+
+# The ``pkt[i]`` symbol names, interned once: replay builds one env per
+# packet, and formatting the same key strings 10^4+ times per workload is
+# measurable.  The list only ever grows.
+_PKT_KEYS: List[str] = []
+
+
+def _pkt_keys(count: int) -> List[str]:
+    while len(_PKT_KEYS) < count:
+        _PKT_KEYS.append(f"pkt[{len(_PKT_KEYS)}]")
+    return _PKT_KEYS
 
 
 def replay_env(
@@ -44,7 +55,7 @@ def replay_env(
         **scalars: concrete values of the NF's scalar inputs, keyed by
             their symbol names (e.g. ``len=60, in_port=3``).
     """
-    env: Dict[str, int] = {f"pkt[{i}]": byte for i, byte in enumerate(packet[:sym_bytes])}
+    env: Dict[str, int] = dict(zip(_pkt_keys(sym_bytes), packet[:sym_bytes]))
     env.update(scalars)
     for call in trace.extern_calls:
         if call.result is not None:
@@ -97,15 +108,25 @@ class NFHarness:
         self.sym_bytes = sym_bytes
         self.scalar_order = scalar_order
         self._interpreter = Interpreter(module, handler=handler)
+        self._scalar_memo: Optional[Tuple[Stimulus, Dict[str, int]]] = None
 
     def scalars_for(self, stimulus: Stimulus) -> Dict[str, int]:
-        """Resolve the stimulus scalars, defaulting ``len`` to the buffer."""
+        """Resolve the stimulus scalars, defaulting ``len`` to the buffer.
+
+        The replayer resolves the same stimulus twice per packet (once to
+        run it, once to build its replay environment), so the last
+        resolution is memoised by stimulus identity.
+        """
+        memo = self._scalar_memo
+        if memo is not None and memo[0] is stimulus:
+            return memo[1]
         scalars = dict(stimulus.scalars)
         if "len" in self.scalar_order:
             scalars.setdefault("len", len(stimulus.packet))
         missing = [name for name in self.scalar_order if name not in scalars]
         if missing:
             raise KeyError(f"{self.name}: stimulus missing scalars {missing}")
+        self._scalar_memo = (stimulus, scalars)
         return scalars
 
     def run(self, stimulus: Stimulus) -> Tuple[Optional[int], ExecutionTrace]:
@@ -114,7 +135,10 @@ class NFHarness:
         memory = Memory()
         memory.write_bytes(self.pkt_base, stimulus.packet)
         args = [self.pkt_base] + [scalars[name] for name in self.scalar_order]
-        return self._interpreter.run(self.function, args, memory=memory)
+        # Replay only consumes aggregate counts, never the per-access
+        # address stream, so skip materialising MemAccess objects.
+        trace = ExecutionTrace(record_accesses=False)
+        return self._interpreter.run(self.function, args, memory=memory, trace=trace)
 
     def env(self, stimulus: Stimulus, trace: ExecutionTrace) -> Dict[str, int]:
         """Build the replay environment of one executed stimulus."""

@@ -126,6 +126,14 @@ class SymbolicEngine:
         self.solver = solver or Solver()
         self.max_paths = max_paths
         self.max_steps = max_steps
+        # id(register value) -> (value, branch condition).  ``_as_bool`` is
+        # pure, and forked states share register nodes, so memoising by
+        # identity both skips re-simplification and maximises node sharing
+        # across sibling states — which is what makes the solver's
+        # canonical-key and verdict caches hit (see repro.sym.solver).
+        self._bool_memo: dict[int, Tuple[BV, BV]] = {}
+        # id(condition) -> (condition, negation), for the same reason.
+        self._not_memo: dict[int, Tuple[BV, BV]] = {}
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -207,9 +215,17 @@ class SymbolicEngine:
             return state.get_reg(operand.name)
         raise EngineError(f"bad operand {operand!r}")  # pragma: no cover
 
-    @staticmethod
-    def _as_bool(value: BV) -> BV:
+    def _as_bool(self, value: BV) -> BV:
         """Turn a 64-bit register value into a width-1 branch condition."""
+        memo = self._bool_memo.get(id(value))
+        if memo is not None:
+            return memo[1]
+        condition = self._as_bool_uncached(value)
+        self._bool_memo[id(value)] = (value, condition)
+        return condition
+
+    @staticmethod
+    def _as_bool_uncached(value: BV) -> BV:
         condition = simplify(E.ne(value, Const(0, value.width)))
         # simplify() narrows `zext(x) != 0` to `x != 0`; for width-1 x that
         # comparison *is* x, which keeps path conditions readable.
@@ -295,9 +311,18 @@ class SymbolicEngine:
             )
             frame.index = 0
             return
-        negated = E.bnot(condition)
+        memo = self._not_memo.get(id(condition))
+        if memo is not None:
+            negated = memo[1]
+        else:
+            negated = E.bnot(condition)
+            self._not_memo[id(condition)] = (condition, negated)
         # Conservative feasibility: keep a side unless the solver proves it
-        # infeasible (UNKNOWN => keep).
+        # infeasible (UNKNOWN => keep).  Both queries flow through the
+        # solver's memoisation layer: the shared path-condition prefix is
+        # canonicalised once, a cached UNSAT prefix refutes a side without
+        # solving, and the verdict cached here is what `_finalise` reuses
+        # when it asks for the surviving side's model.
         then_ok = self.solver.is_feasible(state.path_condition + [condition])
         else_ok = self.solver.is_feasible(state.path_condition + [negated])
         if not then_ok and not else_ok:

@@ -37,6 +37,8 @@ __all__ = [
     "bool_or",
     "bor",
     "bxor",
+    "compile_conjunction",
+    "compile_evaluator",
     "concat",
     "const",
     "eq",
@@ -645,6 +647,134 @@ def free_symbols(expr: BV) -> Dict[str, int]:
             symbols[node.name] = node.width
         stack.extend(node.children())
     return symbols
+
+
+# --------------------------------------------------------------------------- #
+# Compilation to Python closures (the replay hot loop)
+# --------------------------------------------------------------------------- #
+# ``evaluate`` re-walks the expression tree per call; replaying 10^4+
+# packets against the same contract makes that the dominant cost.  The
+# compilers below translate a tree once into straight-line Python (one
+# local per distinct node, so shared subtrees are computed once) and hand
+# back a closure whose semantics match ``evaluate`` bit for bit —
+# including truncation at every node, division-by-zero results, and
+# missing symbols defaulting to 0.
+
+
+class _Codegen:
+    """Shared code emitter for :func:`compile_evaluator` and friends."""
+
+    def __init__(self) -> None:
+        self.lines: list[str] = []
+        self.names: Dict[int, str] = {}
+
+    def walk(self, node: BV) -> str:
+        key = id(node)
+        cached = self.names.get(key)
+        if cached is not None:
+            return cached
+        if isinstance(node, Const):
+            # Literals are inlined; no assignment needed.
+            self.names[key] = str(node.value)
+            return self.names[key]
+        code = self._emit(node)
+        name = f"v{len(self.lines)}"
+        self.lines.append(f"{name} = {code}")
+        self.names[key] = name
+        return name
+
+    def _emit(self, node: BV) -> str:
+        w = node.width
+        m = mask(w)
+        if isinstance(node, Sym):
+            return f"env.get({node.name!r}, 0) & {m}"
+        if isinstance(node, BinOp):
+            a, b = self.walk(node.a), self.walk(node.b)
+            if node.op in ("add", "sub", "mul"):
+                sign = {"add": "+", "sub": "-", "mul": "*"}[node.op]
+                return f"({a} {sign} {b}) & {m}"
+            if node.op in ("and", "or", "xor"):
+                sign = {"and": "&", "or": "|", "xor": "^"}[node.op]
+                return f"{a} {sign} {b}"
+            if node.op == "udiv":
+                return f"({a} // {b} if {b} else {m})"
+            if node.op == "urem":
+                return f"({a} % {b} if {b} else {a})"
+            if node.op == "sdiv":
+                return f"_sdiv(_sgn({a}, {w}), _sgn({b}, {w})) & {m}"
+            if node.op == "shl":
+                return f"(({a} << {b}) & {m} if {b} < {w} else 0)"
+            if node.op == "lshr":
+                return f"({a} >> {b} if {b} < {w} else 0)"
+            raise TypeError(f"cannot compile binop {node.op!r}")  # pragma: no cover
+        if isinstance(node, Cmp):
+            a, b = self.walk(node.a), self.walk(node.b)
+            aw = node.a.width
+            signs = {"eq": "==", "ne": "!=", "ult": "<", "ule": "<=", "ugt": ">", "uge": ">="}
+            if node.op in signs:
+                return f"(1 if {a} {signs[node.op]} {b} else 0)"
+            sign = {"slt": "<", "sle": "<=", "sgt": ">", "sge": ">="}[node.op]
+            return f"(1 if _sgn({a}, {aw}) {sign} _sgn({b}, {aw}) else 0)"
+        if isinstance(node, Not):
+            return f"1 - {self.walk(node.a)}"
+        if isinstance(node, BoolOp):
+            joiner = " and " if node.op == "and" else " or "
+            return "(1 if " + joiner.join(self.walk(p) for p in node.parts) + " else 0)"
+        if isinstance(node, Ite):
+            cond = self.walk(node.cond)
+            then, orelse = self.walk(node.then), self.walk(node.orelse)
+            return f"({then} if {cond} else {orelse})"
+        if isinstance(node, Extract):
+            return f"({self.walk(node.value)} >> {node.lo}) & {m}"
+        if isinstance(node, Concat):
+            shift = 0
+            parts = []
+            for part in node.parts:
+                code = self.walk(part)
+                parts.append(code if shift == 0 else f"({code} << {shift})")
+                shift += part.width
+            return " | ".join(parts)
+        if isinstance(node, ZExt):
+            return self.walk(node.value)
+        raise TypeError(f"cannot compile {type(node).__name__}")  # pragma: no cover
+
+    def build(self, body: Sequence[str], name: str):
+        lines = [f"def {name}(env):"]
+        lines += [f"    {line}" for line in self.lines]
+        lines += [f"    {line}" for line in body]
+        namespace = {"_sdiv": _sdiv, "_sgn": to_signed}
+        exec("\n".join(lines), namespace)  # noqa: S102 - generated from our own AST
+        return namespace[name]
+
+
+def compile_evaluator(expr: BV):
+    """Compile ``expr`` into ``f(env) -> int`` equivalent to :func:`evaluate`.
+
+    The returned closure accepts any mapping from symbol name to int
+    (missing symbols read as 0, exactly like :func:`evaluate`) and is an
+    order of magnitude faster on repeated calls, which is what the
+    traffic replayer needs.
+    """
+    gen = _Codegen()
+    result = gen.walk(expr)
+    return gen.build([f"return {result}"], "_compiled_evaluator")
+
+
+def compile_conjunction(constraints: Sequence[BV]):
+    """Compile constraints into ``f(env) -> bool``: all evaluate to 1.
+
+    Equivalent to ``all(evaluate(c, env) == 1 for c in constraints)`` (the
+    :meth:`repro.sym.paths.Path.covers` loop), with shared subtrees
+    computed once and later constraints skipped after the first failure.
+    """
+    gen = _Codegen()
+    for constraint in constraints:
+        value = gen.walk(constraint)
+        # Emitted into the shared line stream, so each constraint's check
+        # sits right after its assignments: the generated body evaluates
+        # constraints in order and bails at the first failure.
+        gen.lines.append(f"if {value} != 1: return False")
+    return gen.build(["return True"], "_compiled_conjunction")
 
 
 def render(expr: BV) -> str:

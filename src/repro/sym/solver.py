@@ -28,10 +28,10 @@ from __future__ import annotations
 import enum
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import ClassVar, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.sym import expr as E
-from repro.sym.expr import BV, BinOp, BoolOp, Cmp, Const, Sym, evaluate, free_symbols
+from repro.sym.expr import BV, BinOp, BoolOp, Cmp, Const, Sym, evaluate, free_symbols, render
 from repro.sym.simplify import simplify, substitute
 
 __all__ = ["CheckResult", "Solver", "SolverStats"]
@@ -47,13 +47,29 @@ class CheckResult(enum.Enum):
 
 @dataclass
 class SolverStats:
-    """Counters describing the work a solver instance has performed."""
+    """Counters describing the work a solver instance has performed.
+
+    The memoisation counters make the caching layer observable:
+
+    * ``cache_hits`` — conjunctions answered from the verdict cache,
+    * ``prefix_pruned`` — conjunctions proven UNSAT because a previously
+      refuted *prefix* (subset) of their constraints was cached,
+    * ``cache_misses`` — conjunctions the solving pipeline actually ran on,
+    * ``dedup_dropped`` — duplicate conjuncts dropped before solving,
+    * ``simplify_reused`` — constraints whose normal form was reused by
+      node identity instead of re-running :func:`simplify`.
+    """
 
     checks: int = 0
     sat: int = 0
     unsat: int = 0
     unknown: int = 0
     search_nodes: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    prefix_pruned: int = 0
+    dedup_dropped: int = 0
+    simplify_reused: int = 0
 
     def record(self, result: CheckResult) -> None:
         self.checks += 1
@@ -88,7 +104,35 @@ class _Interval:
 
 
 class Solver:
-    """Constraint solver over the :mod:`repro.sym.expr` language."""
+    """Constraint solver over the :mod:`repro.sym.expr` language.
+
+    Repeated queries dominate symbolic exploration: every branch checks
+    ``pc + [cond]`` and ``pc + [¬cond]`` where ``pc`` is a shared prefix,
+    and finalisation re-solves the exact conjunction of the last branch.
+    The solver therefore memoises (after DiSCo's ``PathChecker`` pattern —
+    its ``infeasible_path_pres`` / ``pushed_exp`` sets):
+
+    * constraints are canonicalised once per node identity (the engine
+      shares nodes along path conditions) and duplicates are dropped,
+    * verdicts (and verified SAT models) are cached per constraint keyset,
+    * UNSAT keysets are kept as *prefixes*: any superset conjunction is
+      UNSAT by monotonicity, so one refuted branch prunes every path that
+      shares it.  SAT verdicts are only ever reused for exact keysets.
+
+    Set ``cache=False`` (or flip :attr:`CACHE_DEFAULT`) to disable the
+    verdict cache — contracts generated either way must be identical,
+    which the test suite asserts.
+    """
+
+    #: Default for the ``cache`` argument; tests flip this to compare
+    #: memoised against from-scratch contract generation.
+    CACHE_DEFAULT: bool = True
+
+    #: Process-wide aggregate of every instance's check and cache counters
+    #: (``search_nodes`` stays per-instance).  Contract generators build
+    #: their solvers internally, so callers like the CLI smoke run report
+    #: cache effectiveness from before/after snapshots of this aggregate.
+    TOTALS: ClassVar[SolverStats] = SolverStats()
 
     def __init__(
         self,
@@ -97,20 +141,32 @@ class Solver:
         max_candidates_per_symbol: int = 16,
         random_tries: int = 2_000,
         seed: int = 0,
+        cache: Optional[bool] = None,
     ) -> None:
         self.max_search_nodes = max_search_nodes
         self.max_candidates_per_symbol = max_candidates_per_symbol
         self.random_tries = random_tries
         self._rng = random.Random(seed)
         self.stats = SolverStats()
+        self.cache_enabled = self.CACHE_DEFAULT if cache is None else cache
+        # id(node) -> (node, normal form); nodes are immutable and shared
+        # along path conditions, so identity is a sound (and cheap) key.
+        # The node reference keeps the id from being recycled.
+        self._norm: Dict[int, Tuple[BV, BV]] = {}
+        # id(normal form) -> (node, canonical key string).
+        self._canon: Dict[int, Tuple[BV, str]] = {}
+        # keyset -> (verdict, verified model or None).
+        self._verdicts: Dict[frozenset, Tuple[CheckResult, Optional[Dict[str, int]]]] = {}
+        # Refuted keysets; any superset is UNSAT by conjunction monotonicity.
+        self._unsat_prefixes: List[frozenset] = []
 
     # ------------------------------------------------------------------ #
     # Public API
     # ------------------------------------------------------------------ #
     def check(self, constraints: Iterable[BV]) -> CheckResult:
         """Return SAT/UNSAT/UNKNOWN for the conjunction of ``constraints``."""
-        result, _ = self._solve(list(constraints))
-        self.stats.record(result)
+        result, _ = self._cached_solve(list(constraints))
+        self._record(result)
         return result
 
     def model(self, constraints: Iterable[BV]) -> Optional[Dict[str, int]]:
@@ -118,8 +174,8 @@ class Solver:
 
         A returned model is always verified against the original constraints.
         """
-        result, model = self._solve(list(constraints))
-        self.stats.record(result)
+        result, model = self._cached_solve(list(constraints))
+        self._record(result)
         if result is CheckResult.SAT:
             return model
         return None
@@ -139,15 +195,87 @@ class Solver:
         means "not proven", hence False.
         """
         negated = E.bnot(hypothesis)
-        result, _ = self._solve(list(constraints) + [negated])
-        self.stats.record(result)
+        result, _ = self._cached_solve(list(constraints) + [negated])
+        self._record(result)
         return result is CheckResult.UNSAT
+
+    # ------------------------------------------------------------------ #
+    # Memoisation layer
+    # ------------------------------------------------------------------ #
+    def _record(self, result: CheckResult) -> None:
+        self.stats.record(result)
+        Solver.TOTALS.record(result)
+
+    def _count(self, counter: str, amount: int = 1) -> None:
+        """Bump one cache counter on the instance and the class aggregate."""
+        setattr(self.stats, counter, getattr(self.stats, counter) + amount)
+        setattr(Solver.TOTALS, counter, getattr(Solver.TOTALS, counter) + amount)
+
+    def _normalise(self, node: BV) -> BV:
+        """Return ``simplify(node)``, reusing the normal form by identity."""
+        entry = self._norm.get(id(node))
+        if entry is not None:
+            self._count("simplify_reused")
+            return entry[1]
+        simplified = simplify(node)
+        if id(simplified) not in self._norm:
+            # Register the normal form as its own fixed point so flattening
+            # the same conjunction never simplifies it a second time.
+            self._norm[id(simplified)] = (simplified, simplified)
+        self._norm[id(node)] = (node, simplified)
+        return simplified
+
+    def _canonical_key(self, node: BV) -> str:
+        """Render a normal-form node once; reuse the string by identity."""
+        entry = self._canon.get(id(node))
+        if entry is None:
+            entry = (node, render(node))
+            self._canon[id(node)] = entry
+        return entry[1]
+
+    def _cached_solve(
+        self, constraints: List[BV]
+    ) -> Tuple[CheckResult, Optional[Dict[str, int]]]:
+        if not self.cache_enabled:
+            return self._solve(constraints)
+        deduped: List[BV] = []
+        keys: set[str] = set()
+        for constraint in constraints:
+            normal = self._normalise(constraint)
+            key = self._canonical_key(normal)
+            if key in keys:
+                self._count("dedup_dropped")
+                continue
+            keys.add(key)
+            deduped.append(normal)
+        keyset = frozenset(keys)
+        cached = self._verdicts.get(keyset)
+        if cached is not None:
+            self._count("cache_hits")
+            result, model = cached
+            return result, dict(model) if model is not None else None
+        for prefix in self._unsat_prefixes:
+            if prefix <= keyset:
+                self._count("cache_hits")
+                self._count("prefix_pruned")
+                self._verdicts[keyset] = (CheckResult.UNSAT, None)
+                return CheckResult.UNSAT, None
+        self._count("cache_misses")
+        result, model = self._solve(deduped)
+        self._verdicts[keyset] = (result, dict(model) if model is not None else None)
+        if result is CheckResult.UNSAT:
+            self._unsat_prefixes.append(keyset)
+        return result, model
 
     # ------------------------------------------------------------------ #
     # Core solving pipeline
     # ------------------------------------------------------------------ #
     def _solve(self, constraints: List[BV]) -> Tuple[CheckResult, Optional[Dict[str, int]]]:
-        flat = self._flatten(constraints)
+        # The top-level flatten reuses cached normal forms (public callers
+        # re-check shared path-condition nodes constantly); the flattens on
+        # freshly substituted nodes inside propagation/search do not, so the
+        # identity cache only ever holds long-lived constraint nodes.
+        flat = self._flatten(constraints, use_cache=True)
         if flat is None:
             return CheckResult.UNSAT, None
         if not flat:
@@ -177,12 +305,15 @@ class Solver:
             return CheckResult.SAT, model
         return CheckResult.UNKNOWN, None
 
-    def _flatten(self, constraints: Sequence[BV]) -> Optional[List[BV]]:
+    def _flatten(
+        self, constraints: Sequence[BV], *, use_cache: bool = False
+    ) -> Optional[List[BV]]:
         """Simplify, flatten conjunctions, drop tautologies; None on contradiction."""
         flat: List[BV] = []
         queue = list(constraints)
         while queue:
-            constraint = simplify(queue.pop())
+            node = queue.pop()
+            constraint = self._normalise(node) if use_cache else simplify(node)
             if isinstance(constraint, Const):
                 if constraint.value == 0:
                     return None

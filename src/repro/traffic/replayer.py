@@ -16,20 +16,32 @@ that loop over a stimulus stream:
 The result aggregates per input class and renders as the
 measured-vs-predicted table ``python -m repro.cli bench`` prints, and
 serialises to the ``BENCH_*.json`` schema CI archives.
+
+The loop is built for throughput: everything that depends only on the
+(harness, contract, models) triple is resolved at construction time —
+path predicates compile to closures (:func:`repro.sym.expr.
+compile_conjunction`), contract polynomials and cycle pricing compile to
+scaled-integer evaluators (:meth:`repro.core.perfexpr.PerfExpr.
+compile_scaled`, :meth:`repro.hw.model.CycleModel.compile_measure`) — so
+the per-packet work is one interpreter run plus straight-line integer
+arithmetic.  Cycle values convert back to :class:`~fractions.Fraction`
+only when an outcome is recorded.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Dict, Iterable, List, Mapping, Optional, Protocol, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Protocol, Sequence, Tuple
 
-from repro.core.contract import Metric, PerformanceContract
+from repro.core.contract import ContractEntry, Metric, PerformanceContract
 from repro.core.perfexpr import PerfExpr
 from repro.core.report import format_table
 from repro.hw.model import CycleModel
 from repro.nfil.tracer import ExecutionTrace
 from repro.structures.base import Structure
+from repro.sym.expr import compile_conjunction
 from repro.traffic.generators import Stimulus
 
 __all__ = ["ClassSummary", "NFTarget", "PacketOutcome", "Replayer", "ReplayResult"]
@@ -207,17 +219,75 @@ class Replayer:
             model.name: model.envelope(contract, structures=structures)
             for model in self.models
         }
+        # ---- batched-replay programs (built once, run per packet) ---- #
+        # Classification: the flattened (compiled predicate, entry) list
+        # preserves `contract.classify` order — first entry whose class
+        # predicate (or any of whose paths) matches wins.
+        self._classify_program: List[Tuple[Callable[[Mapping[str, int]], bool], ContractEntry]]
+        self._classify_program = []
+        for entry in contract.entries:
+            if entry.paths:
+                for path in entry.paths:
+                    self._classify_program.append(
+                        (compile_conjunction(path.constraints), entry)
+                    )
+            else:
+                self._classify_program.append((entry.input_class.matches, entry))
+        # Count predictions: ceil(expr) per (entry, metric), each compiled
+        # at its own clearing scale so the ceil is exact.
+        self._count_programs: Dict[int, List[Tuple[Metric, Callable[..., int]]]] = {}
+        for entry in contract.entries:
+            programs: List[Tuple[Metric, Callable[..., int]]] = []
+            for metric in (Metric.INSTRUCTIONS, Metric.MEMORY_ACCESSES):
+                expr = entry.expr(metric)
+                denom = expr.denominator_lcm()
+                scaled = expr.compile_scaled(denom)
+
+                def ceil_eval(bindings, _f=scaled, _d=denom) -> int:
+                    return -(-_f(bindings) // _d)
+
+                programs.append((metric, ceil_eval))
+            self._count_programs[id(entry)] = programs
+        # Cycles: one global scale clears every model price and every
+        # derived cycle coefficient, so measured/predicted stay exact
+        # integers and compare without Fraction arithmetic.
+        scale = 1
+        for model in self.models:
+            scale = math.lcm(scale, model.price_denominator(structures))
+            for expr in self._cycle_exprs[model.name].values():
+                scale = math.lcm(scale, expr.denominator_lcm())
+        self._cycle_scale = scale
+        self._cycle_programs: List[
+            Tuple[str, Callable[[ExecutionTrace], int], Dict[str, Callable[..., int]]]
+        ] = [
+            (
+                model.name,
+                model.compile_measure(structures, scale=scale),
+                {
+                    name: expr.compile_scaled(scale)
+                    for name, expr in self._cycle_exprs[model.name].items()
+                },
+            )
+            for model in self.models
+        ]
 
     def replay(self, stimuli: Iterable[Stimulus], *, workload: str = "workload") -> ReplayResult:
         """Run every stimulus; never raises on a violation — records it."""
-        structures = tuple(self.harness.structures)
         outcomes: List[PacketOutcome] = []
         summaries: Dict[str, ClassSummary] = {}
         max_pcvs: Dict[str, int] = dict(self._zero_pcvs)
+        classify_program = self._classify_program
+        cycle_scale = self._cycle_scale
+        run = self.harness.run
+        build_env = self.harness.env
         for index, stimulus in enumerate(stimuli):
-            _, trace = self.harness.run(stimulus)
-            env = self.harness.env(stimulus, trace)
-            entry = self.contract.classify(env)
+            _, trace = run(stimulus)
+            env = build_env(stimulus, trace)
+            entry = None
+            for predicate, candidate in classify_program:
+                if predicate(env):
+                    entry = candidate
+                    break
             violations: List[str] = []
             measured: Dict[Metric, int] = {
                 Metric.INSTRUCTIONS: trace.total_instructions(),
@@ -227,7 +297,8 @@ class Replayer:
             cycles: Dict[str, Tuple[Fraction, Fraction]] = {}
             observed = trace.pcv_bindings()
             for name, value in observed.items():
-                max_pcvs[name] = max(max_pcvs.get(name, 0), value)
+                if value > max_pcvs.get(name, 0):
+                    max_pcvs[name] = value
             if entry is None:
                 violations.append(f"packet {index}: no contract entry covers the execution")
                 class_name = None
@@ -235,24 +306,25 @@ class Replayer:
                 class_name = entry.input_class.name
                 bindings = dict(self._zero_pcvs)
                 bindings.update(observed)
-                for metric in (Metric.INSTRUCTIONS, Metric.MEMORY_ACCESSES):
-                    predicted[metric] = entry.evaluate(metric, bindings)
+                for metric, evaluate_count in self._count_programs[id(entry)]:
+                    predicted[metric] = evaluate_count(bindings)
                     if measured[metric] > predicted[metric]:
                         violations.append(
                             f"packet {index} ({class_name}): measured {metric} "
                             f"{measured[metric]} exceeds predicted {predicted[metric]}"
                         )
-                for model in self.models:
-                    measured_cycles = model.measure(trace, structures=structures)
-                    predicted_cycles = self._cycle_exprs[model.name][class_name].evaluate(
-                        bindings
+                for model_name, measure, predictors in self._cycle_programs:
+                    measured_scaled = measure(trace)
+                    predicted_scaled = predictors[class_name](bindings)
+                    cycles[model_name] = (
+                        Fraction(measured_scaled, cycle_scale),
+                        Fraction(predicted_scaled, cycle_scale),
                     )
-                    cycles[model.name] = (measured_cycles, predicted_cycles)
-                    if measured_cycles > predicted_cycles:
+                    if measured_scaled > predicted_scaled:
                         violations.append(
-                            f"packet {index} ({class_name}): {model.name} measured "
-                            f"{float(measured_cycles):.1f} cycles exceeds predicted "
-                            f"{float(predicted_cycles):.1f}"
+                            f"packet {index} ({class_name}): {model_name} measured "
+                            f"{measured_scaled / cycle_scale:.1f} cycles exceeds predicted "
+                            f"{predicted_scaled / cycle_scale:.1f}"
                         )
             outcome = PacketOutcome(
                 index=index,

@@ -92,6 +92,45 @@ def test_bench_report_envelopes_dominate_measurements(tmp_path):
                     assert cycles["measured"] <= envelopes[model]
 
 
+def _strip_timing(report):
+    """Drop the only fields allowed to vary between bench invocations."""
+    report.pop("timing")
+    for record in report["nfs"].values():
+        for workload in record["workloads"].values():
+            workload.pop("wall_clock_s")
+            workload.pop("packets_per_sec")
+    return report
+
+
+def test_bench_report_is_bit_identical_for_any_worker_count(tmp_path):
+    serial = tmp_path / "serial.json"
+    fanned = tmp_path / "fanned.json"
+    assert cli.main(["bench", "--output", str(serial), "--packets", "30", "--workers", "1"]) == 0
+    assert cli.main(["bench", "--output", str(fanned), "--packets", "30", "--workers", "4"]) == 0
+    assert _strip_timing(json.loads(serial.read_text())) == _strip_timing(
+        json.loads(fanned.read_text())
+    )
+
+
+def test_bench_records_throughput_per_cell_and_in_aggregate(tmp_path):
+    output = tmp_path / "BENCH_eval.json"
+    assert cli.main(["bench", "--output", str(output), "--packets", "30", "--workers", "2"]) == 0
+    report = json.loads(output.read_text())
+    timing = report["timing"]
+    assert timing["workers"] == 2
+    assert timing["wall_clock_s"] > 0
+    assert timing["packets_per_sec"] > 0
+    assert timing["packets_total"] == sum(
+        workload["packets"]
+        for record in report["nfs"].values()
+        for workload in record["workloads"].values()
+    )
+    for record in report["nfs"].values():
+        for workload in record["workloads"].values():
+            assert workload["wall_clock_s"] > 0
+            assert workload["packets_per_sec"] > 0
+
+
 def test_cli_default_is_smoke(monkeypatch):
     called = {}
     monkeypatch.setattr(cli, "run_smoke", lambda: called.setdefault("smoke", 0))

@@ -8,6 +8,7 @@ exit code — and the shape of the BENCH_eval.json artifact.
 import json
 import subprocess
 import sys
+from dataclasses import replace
 from pathlib import Path
 
 import pytest
@@ -16,6 +17,7 @@ from repro import cli
 from repro.core import Metric, PerfExpr
 from repro.nf.workloads import bridge_adversarial
 from repro.structures import ChainingHashMap, OpSpec
+from repro.sym.solver import Solver
 
 
 @pytest.fixture
@@ -101,6 +103,18 @@ def test_nf_contracts_flag_a_lost_input_class(monkeypatch, capsys):
     assert "lost input classes" in printed and "jumbo" in printed
 
 
+def test_nf_contract_generation_hits_the_solver_cache(capsys):
+    """The acceptance bar for the memoisation layer: nonzero hit counters
+    while the smoke contracts generate, and the summary line in the log."""
+    before = replace(Solver.TOTALS)
+    bridge = next(spec for spec in cli.NF_MATRIX if spec.name == "bridge")
+    assert cli.run_nf_contracts([bridge]) == 0
+    printed = capsys.readouterr().out
+    assert "solver cache across contract generation" in printed
+    assert Solver.TOTALS.cache_hits - before.cache_hits > 0
+    assert Solver.TOTALS.simplify_reused - before.simplify_reused > 0
+
+
 def test_bench_exits_nonzero_when_a_worst_case_is_missed(monkeypatch, capsys, tmp_path):
     """Seed an unreachable adversarial bound: the bench must go red."""
     bridge = next(spec for spec in cli.NF_MATRIX if spec.name == "bridge")
@@ -162,6 +176,14 @@ def test_bench_writes_a_well_formed_report(monkeypatch, tmp_path):
         assert spec.expected_classes <= set(record["classes_seen"])
         for workload in record["workloads"].values():
             assert workload["ok"] is True
-            assert {"packets", "classes", "max_pcvs", "cycle_envelopes"} <= set(workload)
+            assert {
+                "packets",
+                "classes",
+                "max_pcvs",
+                "cycle_envelopes",
+                "wall_clock_s",
+                "packets_per_sec",
+            } <= set(workload)
         worst = record["workloads"]["adversarial"]["worst_case"]
         assert worst and all(check["hit"] for check in worst.values())
+    assert report["timing"]["packets_per_sec"] > 0
