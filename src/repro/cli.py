@@ -22,11 +22,24 @@
     the matrix fans out across a ``--workers``-sized process pool (default:
     all CPUs) and the report is bit-identical for every worker count.
     Cells record their wall clock and replay rate; ``--profile`` runs one
-    cell under cProfile instead of the full matrix.
+    cell under cProfile instead of the full matrix.  Alongside the per-NF
+    cells the bench replays every registered *service graph*
+    (:data:`GRAPH_MATRIX`) end to end — per-hop and composed-route checks,
+    with mid-stream churn — into ``report["graphs"]``; ``--nf`` / ``--graph``
+    restrict the matrix to named rows and write a partial report.
 
-Both the smoke structures (:func:`smoke_structures`) and the NF matrix
-(:data:`NF_MATRIX`) are module-level registries: adding a structure or an
-NF means appending one entry, and ``tools/check_docs.py`` walks the same
+``python -m repro.cli graph``
+    Replays the registered service graphs on their own (see
+    :mod:`repro.net`): a pcap-derived stream enters the graph's entry
+    node, every hop is scored against that NF's contract, every complete
+    journey against the composed route contract, and the churn schedule
+    reconfigures the deployment mid-stream.  Exits non-zero on any
+    violation or on missing per-hop class coverage.
+
+The smoke structures (:func:`smoke_structures`), the NF matrix
+(:data:`NF_MATRIX`) and the graph matrix (:data:`GRAPH_MATRIX`) are
+module-level registries: adding a structure, an NF or a graph means
+appending one entry, and ``tools/check_docs.py`` walks the same
 registries to keep the documentation in sync with what actually runs.
 
 Both commands print section by section as output is produced, so even a
@@ -55,6 +68,8 @@ from repro.nf.bridge import generate_bridge_contract
 from repro.nf.lb import generate_lb_contract
 from repro.nf.nat import generate_nat_contract
 from repro.nf.router import generate_router_contract
+from repro.net.replay import GraphReplayer
+from repro.net.workloads import GraphWorkload, lb_nat_router_workloads
 from repro.nf.workloads import (
     Workload,
     bridge_workloads,
@@ -108,6 +123,9 @@ BENCH_TIMEOUT = 50
 BENCH_PACKETS = 10_000
 BENCH_SEED = 2019
 BENCH_OUTPUT = "BENCH_eval.json"
+#: Default stream length for the standalone ``graph`` subcommand (the
+#: bench replays graphs at the full ``--packets`` budget).
+GRAPH_PACKETS = 1_000
 #: LB-specific geometry: Maglev slots (prime) and the backend ceiling.
 LB_TABLE_SIZE = 13
 LB_MAX_BACKENDS = 4
@@ -184,6 +202,32 @@ NF_MATRIX: Tuple[NFSpec, ...] = (
             max_backends=LB_MAX_BACKENDS,
         ),
         EXPECTED_LB_CLASSES,
+    ),
+)
+
+
+@dataclass(frozen=True)
+class GraphSpec:
+    """One service graph's registration with the bench pipeline.
+
+    Attributes:
+        name: graph name (bench report key, ``--graph`` filter value).
+        title: section title printed by the bench / graph runs.
+        bench_workloads: ``(seed, packets) -> [GraphWorkload]`` factory;
+            each workload carries a fresh graph, its stream and its churn
+            schedule (see :mod:`repro.net.workloads`).
+    """
+
+    name: str
+    title: str
+    bench_workloads: Callable[[int, int], List[GraphWorkload]]
+
+
+GRAPH_MATRIX: Tuple[GraphSpec, ...] = (
+    GraphSpec(
+        "lb_nat_router",
+        "graph: LB -> NAT -> router ingress pipeline",
+        lb_nat_router_workloads,
     ),
 )
 
@@ -300,15 +344,27 @@ def _cell_seed(seed: int, nf_name: str, workload_name: str) -> int:
     return zlib.crc32(f"{seed}:{nf_name}:{workload_name}".encode()) & 0x7FFFFFFF
 
 
-def _bench_cell(task: Tuple[str, str, int, int]) -> Dict[str, object]:
-    """Run one (NF, workload) bench cell; return a picklable summary.
+#: One bench cell's shipping form: ``(kind, name, workload, seed, packets)``
+#: where ``kind`` is ``"nf"`` or ``"graph"``.  Specs hold closures, so the
+#: pool ships plain tuples and each worker rebuilds the spec by name.
+BenchTask = Tuple[str, str, str, int, int]
 
-    Runs in a pool worker: the NF is rebuilt from :data:`NF_MATRIX` by
-    name (specs hold closures, so tasks ship plain tuples instead), and
-    everything destined for the terminal comes back as ``text`` so the
-    parent prints cells in matrix order regardless of completion order.
+
+def _bench_cell(task: BenchTask) -> Dict[str, object]:
+    """Run one bench cell (either kind); return a picklable summary.
+
+    Runs in a pool worker: everything destined for the terminal comes
+    back as ``text`` so the parent prints cells in matrix order
+    regardless of completion order.
     """
-    nf_name, workload_name, seed, packets = task
+    if task[0] == "graph":
+        return _graph_cell(task)
+    return _nf_cell(task)
+
+
+def _nf_cell(task: BenchTask) -> Dict[str, object]:
+    """Run one (NF, workload) bench cell."""
+    _, nf_name, workload_name, seed, packets = task
     spec = next(spec for spec in NF_MATRIX if spec.name == nf_name)
     contract = spec.bench_contract()
     workloads = spec.bench_workloads(_cell_seed(seed, nf_name, workload_name), packets)
@@ -352,7 +408,54 @@ def _bench_cell(task: Tuple[str, str, int, int]) -> Dict[str, object]:
     }
 
 
-def _run_cells(tasks: List[Tuple[str, str, int, int]], workers: int) -> List[Dict[str, object]]:
+def _graph_cell(task: BenchTask) -> Dict[str, object]:
+    """Run one (graph, workload) bench cell: end-to-end replay with churn.
+
+    Violations at *either* level — a hop exceeding its own contract, or a
+    journey exceeding the composed route bound — and missing per-hop
+    class coverage all count as failures.
+    """
+    _, graph_name, workload_name, seed, packets = task
+    spec = next(spec for spec in GRAPH_MATRIX if spec.name == graph_name)
+    workloads = spec.bench_workloads(_cell_seed(seed, graph_name, workload_name), packets)
+    workload = next(workload for workload in workloads if workload.name == workload_name)
+    started = time.perf_counter()
+    replayer = GraphReplayer(workload.graph, models=_bench_models())
+    result = replayer.replay(
+        workload.stream, schedule=workload.schedule, workload=workload.name
+    )
+    wall = max(time.perf_counter() - started, 1e-9)
+    failures = len(result.violations)
+    lines = [
+        "",
+        result.table(),
+        f"  throughput: {result.packets} packets ({result.hop_executions} hop "
+        f"executions) in {wall:.3f}s ({result.packets / wall:,.0f} pkt/s)",
+    ]
+    for message in result.violations[:10]:
+        lines.append(f"FAIL: {message}")
+    seen = result.hop_classes_seen()
+    for node, expected in sorted(workload.expected_hop_classes.items()):
+        missing = sorted(set(expected) - set(seen.get(node, [])))
+        if missing:
+            failures += 1
+            lines.append(f"FAIL: hop {node!r} never exercised classes {missing}")
+    payload = result.to_json()
+    payload["wall_clock_s"] = round(wall, 6)
+    payload["packets_per_sec"] = round(result.packets / wall, 3)
+    return {
+        "workload": workload_name,
+        "payload": payload,
+        "text": "\n".join(lines),
+        "classes": [],
+        "hop_classes": seen,
+        "failures": failures,
+        "packets": result.packets,
+        "wall_clock_s": wall,
+    }
+
+
+def _run_cells(tasks: List[BenchTask], workers: int) -> List[Dict[str, object]]:
     """Run bench cells, fanning out across processes when it can help.
 
     Fork is required (not just preferred): workers must see the parent's
@@ -367,12 +470,12 @@ def _run_cells(tasks: List[Tuple[str, str, int, int]], workers: int) -> List[Dic
     return [_bench_cell(task) for task in tasks]
 
 
-def _profile_cell(task: Tuple[str, str, int, int]) -> int:
+def _profile_cell(task: BenchTask) -> int:
     """Run one bench cell under cProfile; print the top cumulative entries."""
     import cProfile
     import pstats
 
-    nf_name, workload_name, _, packets = task
+    _, nf_name, workload_name, _, packets = task
     _section(f"profile: {nf_name}/{workload_name} at {packets} packets")
     profiler = cProfile.Profile()
     profiler.enable()
@@ -391,23 +494,55 @@ def run_bench(
     seed: int = BENCH_SEED,
     workers: Optional[int] = None,
     profile: bool = False,
+    nfs: Optional[Sequence[str]] = None,
+    graphs: Optional[Sequence[str]] = None,
 ) -> int:
-    """Replay every NF under all workloads; write the BENCH_*.json report."""
+    """Replay every NF and service graph; write the BENCH_*.json report.
+
+    ``nfs`` / ``graphs`` restrict the matrix to the named rows (the
+    ``--nf`` / ``--graph`` flags): naming either makes the run *partial*
+    — only named rows of either kind execute, and the report records the
+    filters so consumers can tell a partial artifact from a full one.
+    """
     started = time.perf_counter()
     workers = max(1, workers if workers is not None else os.cpu_count() or 1)
     models = _bench_models()
-    # One cheap factory call per NF names its workloads (and provides the
+    unknown = sorted(set(nfs or ()) - {spec.name for spec in NF_MATRIX})
+    unknown += sorted(set(graphs or ()) - {spec.name for spec in GRAPH_MATRIX})
+    if unknown:
+        print(f"FAIL: unknown bench rows {unknown}")
+        return 2
+    filtered = nfs is not None or graphs is not None
+    nf_selected = [
+        spec for spec in NF_MATRIX if not filtered or (nfs and spec.name in set(nfs))
+    ]
+    graph_selected = [
+        spec for spec in GRAPH_MATRIX if not filtered or (graphs and spec.name in set(graphs))
+    ]
+    # One cheap factory call per row names its workloads (and provides the
     # structure instances the distilled views attribute costs to); the
     # real per-cell streams are built inside the cells themselves.
     plan = [
         (spec, spec.bench_workloads(_cell_seed(seed, spec.name, "<cells>"), 1))
-        for spec in NF_MATRIX
+        for spec in nf_selected
     ]
-    tasks = [
-        (spec.name, workload.name, seed, packets)
+    graph_plan = [
+        (spec, spec.bench_workloads(_cell_seed(seed, spec.name, "<cells>"), 1))
+        for spec in graph_selected
+    ]
+    tasks: List[BenchTask] = [
+        ("nf", spec.name, workload.name, seed, packets)
         for spec, workloads in plan
         for workload in workloads
     ]
+    tasks += [
+        ("graph", spec.name, workload.name, seed, packets)
+        for spec, workloads in graph_plan
+        for workload in workloads
+    ]
+    if not tasks:
+        print("FAIL: the --nf/--graph filters selected no bench rows")
+        return 2
     if profile:
         return _profile_cell(tasks[0])
     cells = _run_cells(tasks, workers)
@@ -417,8 +552,10 @@ def run_bench(
         "command": "python -m repro.cli bench",
         "seed": seed,
         "packets_per_workload": packets,
+        "filters": {"nfs": sorted(nfs or ()), "graphs": sorted(graphs or ())},
         "hw_models": {model.name: model_to_json(model) for model in models},
         "nfs": {},
+        "graphs": {},
     }
     failures = 0
     total_packets = 0
@@ -453,6 +590,27 @@ def run_bench(
             print(distilled.render())
         report["nfs"][spec.name] = record  # type: ignore[index]
 
+    for spec, workloads in graph_plan:
+        _section(f"bench: {spec.title.removeprefix('graph: ')}")
+        record = {"workloads": {}}
+        hop_classes: Dict[str, set] = {}
+        graph_failures = 0
+        for _ in workloads:
+            cell = cells[cursor]
+            cursor += 1
+            print(cell["text"])
+            record["workloads"][cell["workload"]] = cell["payload"]  # type: ignore[index]
+            for node, classes in cell["hop_classes"].items():  # type: ignore[union-attr]
+                hop_classes.setdefault(node, set()).update(classes)
+            graph_failures += cell["failures"]  # type: ignore[operator]
+            total_packets += cell["packets"]  # type: ignore[operator]
+        record["hop_classes_seen"] = {
+            node: sorted(classes) for node, classes in sorted(hop_classes.items())
+        }
+        record["failures"] = graph_failures
+        failures += graph_failures
+        report["graphs"][spec.name] = record  # type: ignore[index]
+
     elapsed = max(time.perf_counter() - started, 1e-9)
     # Timing lives under one key so consumers comparing reports across
     # worker counts can drop the only legitimately varying subtree.
@@ -473,6 +631,59 @@ def run_bench(
     )
     print(f"wrote {output}")
     print("BENCH FAILED" if failures else "BENCH OK: measured <= predicted on every packet")
+    return 1 if failures else 0
+
+
+# --------------------------------------------------------------------------- #
+# graph: standalone end-to-end service-graph replay
+# --------------------------------------------------------------------------- #
+def run_graph(
+    *,
+    graph: Optional[str] = None,
+    packets: int = GRAPH_PACKETS,
+    seed: int = BENCH_SEED,
+    output: Optional[str] = None,
+) -> int:
+    """Replay the registered service graphs end to end, with churn.
+
+    Prints each graph's per-route table, throughput and the head of its
+    churn log; optionally writes the full per-workload payloads to
+    ``output``.  Exits non-zero on any per-hop or end-to-end violation,
+    or when a hop misses its expected input-class coverage.
+    """
+    specs = [spec for spec in GRAPH_MATRIX if graph is None or spec.name == graph]
+    if not specs:
+        known = ", ".join(spec.name for spec in GRAPH_MATRIX)
+        print(f"FAIL: unknown graph {graph!r} (registered: {known})")
+        return 2
+    failures = 0
+    report: Dict[str, object] = {}
+    for spec in specs:
+        _section(spec.title)
+        probe = spec.bench_workloads(_cell_seed(seed, spec.name, "<cells>"), 1)
+        record: Dict[str, object] = {}
+        for workload in probe:
+            cell = _graph_cell(("graph", spec.name, workload.name, seed, packets))
+            print(cell["text"])
+            churn = cell["payload"]["churn"]  # type: ignore[index]
+            for line in churn["log"][:8]:
+                print(f"  churn {line}")
+            if churn["events"] > 8:
+                print(f"  ... {churn['events'] - 8} more churn events")
+            failures += cell["failures"]  # type: ignore[operator]
+            record[workload.name] = cell["payload"]
+        report[spec.name] = record
+    if output:
+        with open(output, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"\nwrote {output}")
+    print()
+    print(
+        "GRAPH FAILED"
+        if failures
+        else "GRAPH OK: measured <= predicted at every hop and end to end"
+    )
     return 1 if failures else 0
 
 
@@ -504,6 +715,31 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="profile one bench cell under cProfile and exit",
     )
+    bench.add_argument(
+        "--nf",
+        action="append",
+        metavar="NAME",
+        help="bench only this NF (repeatable; makes the report partial)",
+    )
+    bench.add_argument(
+        "--graph",
+        action="append",
+        metavar="NAME",
+        help="bench only this service graph (repeatable; makes the report partial)",
+    )
+    graph = sub.add_parser(
+        "graph", help="end-to-end service-graph replay with mid-stream churn"
+    )
+    graph.add_argument(
+        "--graph", default=None, metavar="NAME", help="graph name (default: all registered)"
+    )
+    graph.add_argument(
+        "--packets", type=int, default=GRAPH_PACKETS, help="stream length to replay"
+    )
+    graph.add_argument("--seed", type=int, default=BENCH_SEED, help="cell seed")
+    graph.add_argument(
+        "--output", default=None, help="optionally write the replay payloads as JSON"
+    )
     args = parser.parse_args(argv)
     if args.command == "bench":
         return run_bench(
@@ -512,6 +748,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             seed=args.seed,
             workers=args.workers,
             profile=args.profile,
+            nfs=args.nf,
+            graphs=args.graph,
+        )
+    if args.command == "graph":
+        return run_graph(
+            graph=args.graph,
+            packets=args.packets,
+            seed=args.seed,
+            output=args.output,
         )
     return run_smoke()
 

@@ -17,7 +17,12 @@ from repro.core.perfexpr import PerfExpr
 from repro.core.contract import ContractEntry, PerformanceContract, Metric, upper_envelope
 from repro.core.input_class import InputClass
 from repro.core.bolt import Bolt, BoltConfig
-from repro.core.composition import compose_contracts, naive_add_contracts
+from repro.core.composition import (
+    compose_contracts,
+    compose_graph_contracts,
+    naive_add_contracts,
+    route_class_name,
+)
 from repro.core.distiller import Distiller, DistillerReport
 from repro.core.report import format_contract, format_table
 
@@ -34,9 +39,11 @@ __all__ = [
     "PerfExpr",
     "PerformanceContract",
     "compose_contracts",
+    "compose_graph_contracts",
     "format_contract",
     "format_table",
     "naive_add_contracts",
+    "route_class_name",
     "qualify_name",
     "split_name",
     "upper_envelope",

@@ -1,0 +1,8 @@
+"""Checked-in capture fixtures for the service-graph workloads.
+
+The ``.pcap`` files here are synthetic, generated deterministically by
+``tools/make_captures.py`` from the builders in
+:mod:`repro.net.workloads`; a test regenerates each fixture and asserts
+byte-identity, so the binary blobs cannot drift from the code that
+explains them.
+"""

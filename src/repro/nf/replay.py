@@ -82,6 +82,12 @@ class NFHarness:
             following the packet pointer (e.g. ``("len", "in_port",
             "time")``).  A stimulus that omits ``len`` gets the literal
             packet length.
+        capture_output: when True, each :meth:`run` also reads the packet
+            buffer back out of NF memory into :attr:`last_packet` — the
+            post-rewrite bytes a downstream hop of a service graph
+            receives.  Off by default: single-NF replay never looks at
+            the egress bytes and the copy would cost on the bench's hot
+            loop.
     """
 
     def __init__(
@@ -95,6 +101,7 @@ class NFHarness:
         pkt_base: int,
         sym_bytes: int,
         scalar_order: Tuple[str, ...] = ("len",),
+        capture_output: bool = False,
     ) -> None:
         self.name = name
         self.module = module
@@ -107,6 +114,10 @@ class NFHarness:
         self.pkt_base = pkt_base
         self.sym_bytes = sym_bytes
         self.scalar_order = scalar_order
+        self.capture_output = capture_output
+        #: Egress packet bytes of the last :meth:`run` (post NF rewrites);
+        #: only populated when ``capture_output`` is on.
+        self.last_packet: bytes = b""
         self._interpreter = Interpreter(module, handler=handler)
         self._scalar_memo: Optional[Tuple[Stimulus, Dict[str, int]]] = None
 
@@ -138,7 +149,10 @@ class NFHarness:
         # Replay only consumes aggregate counts, never the per-access
         # address stream, so skip materialising MemAccess objects.
         trace = ExecutionTrace(record_accesses=False)
-        return self._interpreter.run(self.function, args, memory=memory, trace=trace)
+        result = self._interpreter.run(self.function, args, memory=memory, trace=trace)
+        if self.capture_output:
+            self.last_packet = memory.read_bytes(self.pkt_base, len(stimulus.packet))
+        return result
 
     def env(self, stimulus: Stimulus, trace: ExecutionTrace) -> Dict[str, int]:
         """Build the replay environment of one executed stimulus."""

@@ -64,6 +64,8 @@ __all__ = [
     "colliding_keys",
     "colliding_mac_keys",
     "colliding_ports",
+    "lb_control_stimulus",
+    "lb_data_stimulus",
     "lb_harness",
     "lb_workloads",
     "nat_harness",
@@ -618,18 +620,23 @@ def lb_harness(
     )
 
 
-def _lb_control(cmd: int, backend: int, time: int, note: str) -> Stimulus:
-    """A control frame: no packet bytes, the command in the scalars."""
+def lb_control_stimulus(cmd: int, backend: int, time: int, note: str = "ctrl") -> Stimulus:
+    """A control frame: no packet bytes, the command in the scalars.
+
+    Public because the service-graph churn events
+    (:mod:`repro.net.churn`) inject exactly these frames mid-stream.
+    """
     return Stimulus(
         packet=b"", scalars={"cmd": cmd, "arg": backend, "time": time}, note=note
     )
 
 
-def _lb_data(packet: bytes, time: int, note: str) -> Stimulus:
+def lb_data_stimulus(packet: bytes, time: int, note: str = "data") -> Stimulus:
     """A data frame: ``cmd = CMD_DATA``, the flow in the packet bytes."""
     return Stimulus(
         packet=packet, scalars={"cmd": lb_nf.CMD_DATA, "arg": 0, "time": time}, note=note
     )
+
 
 
 def _lb_mixed(
@@ -650,7 +657,7 @@ def _lb_mixed(
     packet (``backend_drained``).
     """
     stimuli: List[Stimulus] = [
-        _lb_control(lb_nf.CMD_ADD, backend, 0, note) for backend in backends
+        lb_control_stimulus(lb_nf.CMD_ADD, backend, 0, note) for backend in backends
     ]
     churn = 0
     for n, index in enumerate(indices):
@@ -660,7 +667,7 @@ def _lb_mixed(
             backend = backends[(churn // 2) % len(backends)]
             cmd = lb_nf.CMD_REMOVE if churn % 2 == 0 else lb_nf.CMD_ADD
             churn += 1
-            stimuli.append(_lb_control(cmd, backend, time, note))
+            stimuli.append(lb_control_stimulus(cmd, backend, time, note))
             continue
         if n % 17 == 0:
             packet = nat_frame(src_ip, src_port, WAN_SERVER, 80)[: rng.randrange(0, 37)]
@@ -668,7 +675,7 @@ def _lb_mixed(
             packet = nat_frame(src_ip, src_port, WAN_SERVER, 80, ethertype=(0x86, 0xDD))
         else:
             packet = nat_frame(src_ip, src_port, WAN_SERVER, 80)
-        stimuli.append(_lb_data(packet, time, note))
+        stimuli.append(lb_data_stimulus(packet, time, note))
     return stimuli
 
 
@@ -742,38 +749,38 @@ def lb_adversarial(
     flow_set = set(flows)
 
     stimuli: List[Stimulus] = [
-        _lb_control(lb_nf.CMD_ADD, backend, 0, "ctrl_fill") for backend in backends
+        lb_control_stimulus(lb_nf.CMD_ADD, backend, 0, "ctrl_fill") for backend in backends
     ]
-    stimuli.append(_lb_control(lb_nf.CMD_REMOVE, backends[0], 0, "churn"))
-    stimuli.append(_lb_control(lb_nf.CMD_ADD, backends[0], 0, "churn"))
+    stimuli.append(lb_control_stimulus(lb_nf.CMD_REMOVE, backends[0], 0, "churn"))
+    stimuli.append(lb_control_stimulus(lb_nf.CMD_ADD, backends[0], 0, "churn"))
     for i, key in enumerate(flows, start=1):
-        stimuli.append(_lb_data(nat_frame(key >> 16, key & 0xFFFF, WAN_SERVER, 80), i, "fill"))
+        stimuli.append(lb_data_stimulus(nat_frame(key >> 16, key & 0xFFFF, WAN_SERVER, 80), i, "fill"))
     tail = flows[-1]
     last = len(flows)
     tail_frame = nat_frame(tail >> 16, tail & 0xFFFF, WAN_SERVER, 80)
-    stimuli.append(_lb_data(tail_frame, last, "worst_t"))
+    stimuli.append(lb_data_stimulus(tail_frame, last, "worst_t"))
     # Reconstruct the tail flow's backend on a scratch table (repopulation
     # is deterministic in the active set) and drain exactly that backend.
     scratch = MaglevTable("scratch", table_size=table_size, max_backends=max_backends)
     for backend in backends:
         scratch.add_backend(backend)
     drained = scratch.select(tail)
-    stimuli.append(_lb_control(lb_nf.CMD_REMOVE, drained, last, "drained"))
-    stimuli.append(_lb_data(tail_frame, last, "drained"))
+    stimuli.append(lb_control_stimulus(lb_nf.CMD_REMOVE, drained, last, "drained"))
+    stimuli.append(lb_data_stimulus(tail_frame, last, "drained"))
     for backend in backends:
         if backend != drained:
-            stimuli.append(_lb_control(lb_nf.CMD_REMOVE, backend, last, "no_backends"))
+            stimuli.append(lb_control_stimulus(lb_nf.CMD_REMOVE, backend, last, "no_backends"))
     fresh = next(k for k in range(1, 1 << 16) if k not in flow_set)
     stimuli.append(
-        _lb_data(nat_frame(fresh >> 16, fresh & 0xFFFF, WAN_SERVER, 80), last, "no_backends")
+        lb_data_stimulus(nat_frame(fresh >> 16, fresh & 0xFFFF, WAN_SERVER, 80), last, "no_backends")
     )
-    stimuli.append(_lb_data(tail_frame, last, "no_backends"))
+    stimuli.append(lb_data_stimulus(tail_frame, last, "no_backends"))
     # Latest deadline: the rebind at time `last` plus the timeout.  Jumping
     # past it by a full revolution makes the sweep advance wheel_slots
     # slots and visit every deadline slot.
     doom = last + timeout + wheel_slots + 1
     stimuli.append(
-        _lb_data(nat_frame(fresh >> 16, fresh & 0xFFFF, WAN_SERVER, 80), doom, "worst_e")
+        lb_data_stimulus(nat_frame(fresh >> 16, fresh & 0xFFFF, WAN_SERVER, 80), doom, "worst_e")
     )
     return Workload(
         "adversarial",

@@ -8,10 +8,24 @@ concrete interpreter/tracer and checks every execution — counts and
 model-derived cycles — against its performance contract.
 
 Adversarial worst-case streams are NF-specific and live in
-:mod:`repro.nf.workloads`.
+:mod:`repro.nf.workloads`.  Capture-derived workloads come from
+:mod:`repro.traffic.pcap`, a dependency-free classic-libpcap reader and
+writer with adapters that turn a capture into stimulus streams (and loop
+small fixtures into long, monotonic-clock benches).
 """
 
 from repro.traffic.generators import Stimulus, uniform_indices, zipf_indices, zipf_weights
+from repro.traffic.pcap import (
+    Capture,
+    CapturedPacket,
+    LINKTYPE_ETHERNET,
+    PcapFormatError,
+    capture_stimuli,
+    capture_ticks,
+    read_pcap,
+    sample_capture,
+    write_pcap,
+)
 from repro.traffic.packets import (
     ETHERNET_HEADER,
     ETHERTYPE_IPV4,
@@ -32,22 +46,31 @@ from repro.traffic.replayer import (
 )
 
 __all__ = [
+    "Capture",
+    "CapturedPacket",
     "ClassSummary",
     "ETHERNET_HEADER",
     "ETHERTYPE_IPV4",
     "IPV4_MIN_FRAME",
+    "LINKTYPE_ETHERNET",
     "NAT_MIN_FRAME",
     "NFTarget",
     "PacketOutcome",
+    "PcapFormatError",
     "ReplayResult",
     "Replayer",
     "Stimulus",
+    "capture_stimuli",
+    "capture_ticks",
     "ethernet_frame",
     "ipv4_address",
     "ipv4_frame",
     "mac_bytes",
     "nat_frame",
+    "read_pcap",
+    "sample_capture",
     "uniform_indices",
+    "write_pcap",
     "zipf_indices",
     "zipf_weights",
 ]

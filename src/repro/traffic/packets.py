@@ -101,18 +101,24 @@ def nat_frame(
     *,
     ethertype: Tuple[int, int] = ETHERTYPE_IPV4,
     payload: int = 12,
+    ttl: int = 0,
 ) -> bytes:
-    """Build a minimal Ethernet+IPv4+L4 frame for the NAT.
+    """Build a minimal Ethernet+IPv4+L4 frame for the NAT (and the LB).
 
     Populates the fields the NAT reads: the EtherType at offset 12, the
     big-endian source/destination addresses at 26–29 / 30–33 and the
-    big-endian L4 ports at 34–35 / 36–37.
+    big-endian L4 ports at 34–35 / 36–37.  The TTL at offset 22 defaults
+    to zero (the NAT and LB never read it); service-graph streams that
+    continue into the router set it explicitly.
     """
     for port in (src_port, dst_port):
         if not 0 <= port < (1 << 16):
             raise ValueError(f"port {port} is not a 16-bit value")
+    if not 0 <= ttl <= 0xFF:
+        raise ValueError(f"TTL {ttl} out of range")
     frame = bytearray(NAT_MIN_FRAME + payload)
     frame[12], frame[13] = ethertype
+    frame[22] = ttl
     frame[26:30] = ipv4_address(src).to_bytes(4, "big")
     frame[30:34] = ipv4_address(dst).to_bytes(4, "big")
     frame[34:36] = src_port.to_bytes(2, "big")

@@ -271,73 +271,83 @@ class Replayer:
             for model in self.models
         ]
 
+    def score(self, stimulus: Stimulus, index: int = 0) -> PacketOutcome:
+        """Run ONE stimulus and score it against the contract.
+
+        This is the per-packet primitive :meth:`replay` iterates — and
+        what the service-graph replayer (:mod:`repro.net`) calls per hop,
+        where each hop of a packet's journey is scored against that NF's
+        own contract before the cumulative trace is checked against the
+        composed one.  Violations are recorded on the outcome, never
+        raised.
+        """
+        _, trace = self.harness.run(stimulus)
+        env = self.harness.env(stimulus, trace)
+        entry = None
+        for predicate, candidate in self._classify_program:
+            if predicate(env):
+                entry = candidate
+                break
+        cycle_scale = self._cycle_scale
+        violations: List[str] = []
+        measured: Dict[Metric, int] = {
+            Metric.INSTRUCTIONS: trace.total_instructions(),
+            Metric.MEMORY_ACCESSES: trace.total_memory_accesses(),
+        }
+        predicted: Dict[Metric, int] = {}
+        cycles: Dict[str, Tuple[Fraction, Fraction]] = {}
+        observed = trace.pcv_bindings()
+        if entry is None:
+            violations.append(f"packet {index}: no contract entry covers the execution")
+            class_name = None
+        else:
+            class_name = entry.input_class.name
+            bindings = dict(self._zero_pcvs)
+            bindings.update(observed)
+            for metric, evaluate_count in self._count_programs[id(entry)]:
+                predicted[metric] = evaluate_count(bindings)
+                if measured[metric] > predicted[metric]:
+                    violations.append(
+                        f"packet {index} ({class_name}): measured {metric} "
+                        f"{measured[metric]} exceeds predicted {predicted[metric]}"
+                    )
+            for model_name, measure, predictors in self._cycle_programs:
+                measured_scaled = measure(trace)
+                predicted_scaled = predictors[class_name](bindings)
+                cycles[model_name] = (
+                    Fraction(measured_scaled, cycle_scale),
+                    Fraction(predicted_scaled, cycle_scale),
+                )
+                if measured_scaled > predicted_scaled:
+                    violations.append(
+                        f"packet {index} ({class_name}): {model_name} measured "
+                        f"{measured_scaled / cycle_scale:.1f} cycles exceeds predicted "
+                        f"{predicted_scaled / cycle_scale:.1f}"
+                    )
+        return PacketOutcome(
+            index=index,
+            note=stimulus.note,
+            class_name=class_name,
+            pcvs=observed,
+            measured=measured,
+            predicted=predicted,
+            cycles=cycles,
+            violations=tuple(violations),
+        )
+
     def replay(self, stimuli: Iterable[Stimulus], *, workload: str = "workload") -> ReplayResult:
         """Run every stimulus; never raises on a violation — records it."""
         outcomes: List[PacketOutcome] = []
         summaries: Dict[str, ClassSummary] = {}
         max_pcvs: Dict[str, int] = dict(self._zero_pcvs)
-        classify_program = self._classify_program
-        cycle_scale = self._cycle_scale
-        run = self.harness.run
-        build_env = self.harness.env
+        score = self.score
         for index, stimulus in enumerate(stimuli):
-            _, trace = run(stimulus)
-            env = build_env(stimulus, trace)
-            entry = None
-            for predicate, candidate in classify_program:
-                if predicate(env):
-                    entry = candidate
-                    break
-            violations: List[str] = []
-            measured: Dict[Metric, int] = {
-                Metric.INSTRUCTIONS: trace.total_instructions(),
-                Metric.MEMORY_ACCESSES: trace.total_memory_accesses(),
-            }
-            predicted: Dict[Metric, int] = {}
-            cycles: Dict[str, Tuple[Fraction, Fraction]] = {}
-            observed = trace.pcv_bindings()
-            for name, value in observed.items():
+            outcome = score(stimulus, index)
+            for name, value in outcome.pcvs.items():
                 if value > max_pcvs.get(name, 0):
                     max_pcvs[name] = value
-            if entry is None:
-                violations.append(f"packet {index}: no contract entry covers the execution")
-                class_name = None
-            else:
-                class_name = entry.input_class.name
-                bindings = dict(self._zero_pcvs)
-                bindings.update(observed)
-                for metric, evaluate_count in self._count_programs[id(entry)]:
-                    predicted[metric] = evaluate_count(bindings)
-                    if measured[metric] > predicted[metric]:
-                        violations.append(
-                            f"packet {index} ({class_name}): measured {metric} "
-                            f"{measured[metric]} exceeds predicted {predicted[metric]}"
-                        )
-                for model_name, measure, predictors in self._cycle_programs:
-                    measured_scaled = measure(trace)
-                    predicted_scaled = predictors[class_name](bindings)
-                    cycles[model_name] = (
-                        Fraction(measured_scaled, cycle_scale),
-                        Fraction(predicted_scaled, cycle_scale),
-                    )
-                    if measured_scaled > predicted_scaled:
-                        violations.append(
-                            f"packet {index} ({class_name}): {model_name} measured "
-                            f"{measured_scaled / cycle_scale:.1f} cycles exceeds predicted "
-                            f"{predicted_scaled / cycle_scale:.1f}"
-                        )
-            outcome = PacketOutcome(
-                index=index,
-                note=stimulus.note,
-                class_name=class_name,
-                pcvs=observed,
-                measured=measured,
-                predicted=predicted,
-                cycles=cycles,
-                violations=tuple(violations),
-            )
             outcomes.append(outcome)
-            key = class_name if class_name is not None else "<unclassified>"
+            key = outcome.class_name if outcome.class_name is not None else "<unclassified>"
             summaries.setdefault(key, ClassSummary(key)).absorb(outcome)
         return ReplayResult(
             nf_name=self.harness.name,

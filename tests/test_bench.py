@@ -78,6 +78,29 @@ def test_bench_writes_a_green_report(tmp_path, capsys):
         "backend_drained",
         "no_backends",
     }
+    # The service-graph row: end-to-end replay with churn, green at both
+    # levels, full per-hop class coverage.
+    assert set(report["graphs"]) == {"lb_nat_router"}
+    graph_record = report["graphs"]["lb_nat_router"]
+    assert graph_record["failures"] == 0
+    assert set(graph_record["hop_classes_seen"]) == {"lb", "nat", "router"}
+    assert set(graph_record["hop_classes_seen"]["router"]) == {
+        "routed",
+        "no_route",
+        "ttl_expired",
+    }
+    capture_cell = graph_record["workloads"]["capture"]
+    assert capture_cell["ok"] is True
+    assert capture_cell["violations"] == []
+    assert capture_cell["packets"] == 60
+    assert capture_cell["hop_executions"] > capture_cell["packets"]
+    assert capture_cell["churn"]["events"] > 0
+    assert capture_cell["packets_per_sec"] > 0
+    # Every observed route stayed within its composed bound.
+    for route in capture_cell["routes"].values():
+        assert route["violations"] == 0
+        for cycles in route["max_cycles"].values():
+            assert cycles["measured"] <= cycles["predicted"]
 
 
 def test_bench_report_envelopes_dominate_measurements(tmp_path):
@@ -95,10 +118,11 @@ def test_bench_report_envelopes_dominate_measurements(tmp_path):
 def _strip_timing(report):
     """Drop the only fields allowed to vary between bench invocations."""
     report.pop("timing")
-    for record in report["nfs"].values():
-        for workload in record["workloads"].values():
-            workload.pop("wall_clock_s")
-            workload.pop("packets_per_sec")
+    for kind in ("nfs", "graphs"):
+        for record in report[kind].values():
+            for workload in record["workloads"].values():
+                workload.pop("wall_clock_s")
+                workload.pop("packets_per_sec")
     return report
 
 
@@ -122,13 +146,62 @@ def test_bench_records_throughput_per_cell_and_in_aggregate(tmp_path):
     assert timing["packets_per_sec"] > 0
     assert timing["packets_total"] == sum(
         workload["packets"]
-        for record in report["nfs"].values()
+        for kind in ("nfs", "graphs")
+        for record in report[kind].values()
         for workload in record["workloads"].values()
     )
-    for record in report["nfs"].values():
-        for workload in record["workloads"].values():
-            assert workload["wall_clock_s"] > 0
-            assert workload["packets_per_sec"] > 0
+    for kind in ("nfs", "graphs"):
+        for record in report[kind].values():
+            for workload in record["workloads"].values():
+                assert workload["wall_clock_s"] > 0
+                assert workload["packets_per_sec"] > 0
+
+
+def test_bench_nf_filter_writes_a_partial_report(tmp_path):
+    output = tmp_path / "BENCH_eval.json"
+    code = cli.main(
+        ["bench", "--output", str(output), "--packets", "30", "--nf", "bridge", "--nf", "lb"]
+    )
+    assert code == 0
+    report = json.loads(output.read_text())
+    assert report["schema"] == "repro-bench/1"
+    assert report["ok"] is True
+    assert set(report["nfs"]) == {"bridge", "lb"}
+    assert report["graphs"] == {}
+    assert report["filters"] == {"nfs": ["bridge", "lb"], "graphs": []}
+
+
+def test_bench_graph_filter_writes_a_partial_report(tmp_path):
+    output = tmp_path / "BENCH_eval.json"
+    code = cli.main(
+        ["bench", "--output", str(output), "--packets", "40", "--graph", "lb_nat_router"]
+    )
+    assert code == 0
+    report = json.loads(output.read_text())
+    assert report["nfs"] == {}
+    assert set(report["graphs"]) == {"lb_nat_router"}
+    assert report["filters"] == {"nfs": [], "graphs": ["lb_nat_router"]}
+    assert report["graphs"]["lb_nat_router"]["failures"] == 0
+
+
+def test_bench_rejects_unknown_filter_rows(tmp_path, capsys):
+    output = tmp_path / "BENCH_eval.json"
+    assert cli.main(["bench", "--output", str(output), "--nf", "firewall"]) == 2
+    assert "unknown bench rows" in capsys.readouterr().out
+    assert not output.exists()
+
+
+def test_graph_command_replays_green(capsys):
+    assert cli.main(["graph", "--packets", "120"]) == 0
+    printed = capsys.readouterr().out
+    assert "GRAPH OK" in printed
+    assert "churn @" in printed
+    assert "lb:new_flow > nat:internal_new > router:routed" in printed
+
+
+def test_graph_command_rejects_unknown_graphs(capsys):
+    assert cli.main(["graph", "--graph", "nope"]) == 2
+    assert "unknown graph" in capsys.readouterr().out
 
 
 def test_cli_default_is_smoke(monkeypatch):

@@ -137,6 +137,7 @@ def test_bench_exits_nonzero_when_a_worst_case_is_missed(monkeypatch, capsys, tm
         frozenset(),
     )
     monkeypatch.setattr(cli, "NF_MATRIX", (doctored,))
+    monkeypatch.setattr(cli, "GRAPH_MATRIX", ())  # keep the red-path run fast
     output = tmp_path / "BENCH_eval.json"
     assert cli.main(["bench", "--output", str(output)]) == 1
     printed = capsys.readouterr().out
@@ -186,4 +187,19 @@ def test_bench_writes_a_well_formed_report(monkeypatch, tmp_path):
             } <= set(workload)
         worst = record["workloads"]["adversarial"]["worst_case"]
         assert worst and all(check["hit"] for check in worst.values())
+    assert set(report["graphs"]) == {spec.name for spec in cli.GRAPH_MATRIX}
+    for record in report["graphs"].values():
+        assert record["failures"] == 0
+        for workload in record["workloads"].values():
+            assert workload["ok"] is True
+            assert {
+                "packets",
+                "hop_executions",
+                "routes",
+                "hops",
+                "max_pcvs",
+                "churn",
+                "wall_clock_s",
+                "packets_per_sec",
+            } <= set(workload)
     assert report["timing"]["packets_per_sec"] > 0

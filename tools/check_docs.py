@@ -8,7 +8,11 @@ tools/check_docs.py``).  Two guarantees:
    structure class in :func:`repro.cli.smoke_structures` (i.e. everything
    the CLI smoke output lists) has a section in ``docs/CONTRACTS.md``,
    and every NF appears in ``docs/ARCHITECTURE.md``'s module map.
-2. **Quickstart** — the fenced ``python`` code blocks of the README run
+2. **Graphs** — every service graph in :data:`repro.cli.GRAPH_MATRIX`
+   has a section in ``docs/SERVICE_GRAPHS.md`` naming each of its hop
+   NFs, and the authoring guides cross-link each other so the layering
+   story stays navigable.
+3. **Quickstart** — the fenced ``python`` code blocks of the README run
    verbatim, in order, in one shared namespace (they build on each
    other), so the copy-pasteable quickstart cannot rot.
 
@@ -26,7 +30,7 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO / "src"))
 
-from repro.cli import NF_MATRIX, smoke_structures  # noqa: E402
+from repro.cli import GRAPH_MATRIX, NF_MATRIX, smoke_structures  # noqa: E402
 
 
 def python_blocks(markdown: str) -> list[str]:
@@ -68,6 +72,35 @@ def check_contract_docs(failures: list[str]) -> None:
             )
 
 
+def check_graph_docs(failures: list[str]) -> None:
+    guide = (REPO / "docs" / "SERVICE_GRAPHS.md").read_text(encoding="utf-8")
+    for spec in GRAPH_MATRIX:
+        if f"`{spec.name}`" not in guide:
+            failures.append(
+                f"docs/SERVICE_GRAPHS.md: no section for graph {spec.name!r} "
+                "(the bench runs it; document its topology)"
+            )
+            continue
+        # The guide must name every hop NF the graph deploys — the
+        # workload factory carries the authoritative topology.
+        graph = spec.bench_workloads(0, 1)[0].graph
+        missing = [name for name in graph.hop_names() if f"`{name}`" not in guide]
+        if missing:
+            failures.append(
+                f"docs/SERVICE_GRAPHS.md: graph {spec.name!r} hop NFs never "
+                f"mentioned: {missing}"
+            )
+    # The authoring guides must cross-link: graph authors arrive from the
+    # NF and structure guides, and vice versa.
+    for doc in ("NF_AUTHORING.md", "STRUCTURES.md"):
+        text = (REPO / "docs" / doc).read_text(encoding="utf-8")
+        if "SERVICE_GRAPHS.md" not in text:
+            failures.append(f"docs/{doc}: missing cross-link to SERVICE_GRAPHS.md")
+    for doc in ("NF_AUTHORING.md", "STRUCTURES.md"):
+        if doc not in guide:
+            failures.append(f"docs/SERVICE_GRAPHS.md: missing cross-link to {doc}")
+
+
 def check_readme_quickstart(failures: list[str]) -> None:
     readme = (REPO / "README.md").read_text(encoding="utf-8")
     blocks = python_blocks(readme)
@@ -89,11 +122,14 @@ def check_readme_quickstart(failures: list[str]) -> None:
 def main() -> int:
     failures: list[str] = []
     check_contract_docs(failures)
+    check_graph_docs(failures)
     check_readme_quickstart(failures)
     structures = ", ".join(sorted({type(s).__name__ for s in smoke_structures()}))
     nfs = ", ".join(spec.name for spec in NF_MATRIX)
+    graphs = ", ".join(spec.name for spec in GRAPH_MATRIX)
     print(f"checked structures: {structures}")
     print(f"checked NFs: {nfs}")
+    print(f"checked graphs: {graphs}")
     for failure in failures:
         print(f"FAIL: {failure}")
     print("DOCS CHECK FAILED" if failures else "DOCS CHECK OK")

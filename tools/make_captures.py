@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Regenerate the checked-in capture fixtures from their builders.
+
+The fixtures under ``src/repro/net/captures/`` are binary, so they are
+generated — never hand-edited — from the deterministic builders in
+:mod:`repro.net.workloads` and committed.  ``tests/test_pcap.py``
+regenerates them in memory and asserts byte-identity against the checked-
+in files; when a builder changes deliberately, run this script and commit
+the refreshed fixture alongside it.
+
+Usage::
+
+    PYTHONPATH=src python tools/make_captures.py
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.net.workloads import GRAPH_FIXTURE, graph_mix_capture  # noqa: E402
+from repro.traffic.pcap import write_pcap  # noqa: E402
+
+#: fixture filename -> builder returning its Capture.
+FIXTURES = {
+    GRAPH_FIXTURE: graph_mix_capture,
+}
+
+
+def fixture_bytes(name: str) -> bytes:
+    """The exact bytes fixture ``name`` must contain (for tests too)."""
+    buffer = io.BytesIO()
+    write_pcap(buffer, FIXTURES[name]())
+    return buffer.getvalue()
+
+
+def main() -> int:
+    captures_dir = os.path.join(
+        os.path.dirname(__file__), "..", "src", "repro", "net", "captures"
+    )
+    for name in sorted(FIXTURES):
+        path = os.path.normpath(os.path.join(captures_dir, name))
+        blob = fixture_bytes(name)
+        with open(path, "wb") as handle:
+            handle.write(blob)
+        print(f"wrote {path} ({len(blob)} bytes, {len(FIXTURES[name]())} records)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
