@@ -1,0 +1,24 @@
+"""Constant-time auditing of performance contracts.
+
+Since a contract bounds *cycles per input class* symbolically, it can
+answer a security question no measurement campaign can settle: are two
+secret-dependent input classes **cycle-indistinguishable**?  See
+:mod:`repro.audit.ct` for the audit engine and the per-NF registry of
+secret class sets.
+"""
+
+from repro.audit.ct import (
+    SECRET_CLASS_SETS,
+    AuditFinding,
+    PairVerdict,
+    SecretClassSet,
+    audit_contract,
+)
+
+__all__ = [
+    "SECRET_CLASS_SETS",
+    "AuditFinding",
+    "PairVerdict",
+    "SecretClassSet",
+    "audit_contract",
+]

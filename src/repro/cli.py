@@ -36,6 +36,23 @@
     reconfigures the deployment mid-stream.  Exits non-zero on any
     violation or on missing per-hop class coverage.
 
+``python -m repro.cli contract-diff``
+    The regression gate: regenerates every NF's bench-geometry contract
+    plus every service graph's composed contract and diffs them (term by
+    term, exact Fractions) against the golden snapshots checked in under
+    ``tests/golden/``.  Exits non-zero on any drift, naming the drifted
+    classes and the derived-cycle consequence under both hardware models.
+    ``--update`` regenerates the goldens — the acknowledgement step for
+    an intentional bound change.
+
+``python -m repro.cli ct-audit``
+    The constant-time audit: for every NF's declared secret-dependent
+    class sets (:data:`repro.audit.SECRET_CLASS_SETS`), proves
+    cycle-indistinguishability under both hardware models (polynomial
+    identity) or reports the leaking class pair with its symbolic cycle
+    delta and a concrete witness.  Exits non-zero when a computed verdict
+    contradicts its declared expectation (``--strict``: on any leak).
+
 The smoke structures (:func:`smoke_structures`), the NF matrix
 (:data:`NF_MATRIX`) and the graph matrix (:data:`GRAPH_MATRIX`) are
 module-level registries: adding a structure, an NF or a graph means
@@ -61,7 +78,8 @@ from dataclasses import dataclass, replace
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 import repro.structures as structures_pkg
-from repro.core import Distiller
+from repro.audit import SECRET_CLASS_SETS, audit_contract
+from repro.core import Distiller, diff_contracts, dump_contract, load_contract
 from repro.core.contract import PerformanceContract
 from repro.hw import ConservativeModel, CycleModel, RealisticModel, model_to_json
 from repro.nf.bridge import generate_bridge_contract
@@ -129,6 +147,31 @@ GRAPH_PACKETS = 1_000
 #: LB-specific geometry: Maglev slots (prime) and the backend ceiling.
 LB_TABLE_SIZE = 13
 LB_MAX_BACKENDS = 4
+#: Where the golden contract snapshots live (``contract-diff`` default).
+GOLDEN_DIR = os.path.join("tests", "golden")
+
+#: Every CLI subcommand with its exit-code semantics, in registration
+#: order.  ``tools/check_docs.py`` walks this to require a README row per
+#: subcommand, so adding one here without documenting it fails CI.
+SUBCOMMANDS: Tuple[Tuple[str, str], ...] = (
+    ("smoke", "0 = every contract validates; 1 = any validation failure"),
+    (
+        "bench",
+        "0 = measured <= predicted everywhere and every bound hit; "
+        "1 = violation or missed worst case; 2 = unknown --nf/--graph row",
+    ),
+    ("graph", "0 = clean end-to-end replay; 1 = violation or missing coverage; 2 = unknown graph"),
+    (
+        "contract-diff",
+        "0 = no drift against the goldens; 1 = any bound drift; "
+        "2 = missing golden or unknown name",
+    ),
+    (
+        "ct-audit",
+        "0 = every verdict matches its declared expectation; "
+        "1 = unexpected leak/proof (or any leak with --strict); 2 = unknown NF",
+    ),
+)
 
 
 @dataclass(frozen=True)
@@ -688,6 +731,151 @@ def run_graph(
 
 
 # --------------------------------------------------------------------------- #
+# contract-diff: golden-contract regression gate
+# --------------------------------------------------------------------------- #
+def _gate_targets(
+    names: Optional[Sequence[str]] = None,
+) -> List[Tuple[str, PerformanceContract, Tuple[Structure, ...]]]:
+    """Regenerate every gated contract at bench geometry.
+
+    One target per NF in :data:`NF_MATRIX` (its bench contract) plus one
+    per service graph in :data:`GRAPH_MATRIX` (its *composed* contract,
+    one entry per reachable route).  Each target ships the structure
+    instances behind its PCVs so cycle deltas price memory per owner.
+    """
+    selected = set(names) if names else None
+    targets: List[Tuple[str, PerformanceContract, Tuple[Structure, ...]]] = []
+    for spec in NF_MATRIX:
+        if selected is not None and spec.name not in selected:
+            continue
+        workload = spec.bench_workloads(_cell_seed(BENCH_SEED, spec.name, "<gate>"), 1)[0]
+        targets.append((spec.name, spec.bench_contract(), tuple(workload.harness.structures)))
+    for spec in GRAPH_MATRIX:
+        if selected is not None and spec.name not in selected:
+            continue
+        graph = spec.bench_workloads(_cell_seed(BENCH_SEED, spec.name, "<gate>"), 1)[0].graph
+        targets.append((spec.name, graph.compose(), graph.structures()))
+    return targets
+
+
+def run_contract_diff(
+    *,
+    golden_dir: str = GOLDEN_DIR,
+    update: bool = False,
+    names: Optional[Sequence[str]] = None,
+) -> int:
+    """Diff freshly generated contracts against the checked-in goldens.
+
+    With ``--update``, (re)write the goldens instead — the acknowledgement
+    step for an *intentional* bound change.  Exit codes: 0 no drift,
+    1 any drift (the drifted classes are named), 2 a golden file is
+    missing or a ``--nf`` name is unknown.
+    """
+    known = {spec.name for spec in NF_MATRIX} | {spec.name for spec in GRAPH_MATRIX}
+    unknown = sorted(set(names or ()) - known)
+    if unknown:
+        print(f"FAIL: unknown contract-diff targets {unknown} (known: {sorted(known)})")
+        return 2
+    targets = _gate_targets(names)
+    if update:
+        os.makedirs(golden_dir, exist_ok=True)
+        for name, contract, _ in targets:
+            path = os.path.join(golden_dir, f"{name}.json")
+            dump_contract(contract, path)
+            print(f"wrote golden contract {path} ({len(contract)} classes)")
+        return 0
+    models = _bench_models()
+    drifted = 0
+    missing = 0
+    for name, contract, structures in targets:
+        _section(f"contract-diff: {name}")
+        path = os.path.join(golden_dir, f"{name}.json")
+        if not os.path.exists(path):
+            missing += 1
+            print(
+                f"FAIL: no golden contract at {path} "
+                "(run `python -m repro.cli contract-diff --update` and commit it)"
+            )
+            continue
+        diff = diff_contracts(load_contract(path), contract, models=models, structures=structures)
+        print(diff.render())
+        if not diff.ok:
+            drifted += 1
+            names = diff.worsened_classes or sorted(d.class_name for d in diff.drifted)
+            print(f"drifted classes: {names}")
+    print()
+    if missing:
+        print("CONTRACT DIFF FAILED: goldens missing")
+        return 2
+    print(
+        "CONTRACT DIFF FAILED: bounds drifted against the goldens "
+        "(intentional? regenerate with --update and commit)"
+        if drifted
+        else "CONTRACT DIFF OK: every contract matches its golden"
+    )
+    return 1 if drifted else 0
+
+
+# --------------------------------------------------------------------------- #
+# ct-audit: constant-time audit of secret-dependent input classes
+# --------------------------------------------------------------------------- #
+def run_ct_audit(*, names: Optional[Sequence[str]] = None, strict: bool = False) -> int:
+    """Audit every NF's secret class sets under both hardware models.
+
+    Exit codes: 0 every computed verdict matches its declared expectation
+    (known leaks stay documented, claimed constant-time pairs stay
+    proven), 1 a verdict contradicts its declaration — or, with
+    ``--strict``, any leak at all — and 2 an unknown ``--nf`` name.
+    """
+    known = {spec.name for spec in NF_MATRIX}
+    unknown = sorted(set(names or ()) - known)
+    if unknown:
+        print(f"FAIL: unknown NFs {unknown} (known: {sorted(known)})")
+        return 2
+    models = _bench_models()
+    failures = 0
+    audited = 0
+    for spec in NF_MATRIX:
+        if names and spec.name not in set(names):
+            continue
+        secret_sets = SECRET_CLASS_SETS.get(spec.name, ())
+        _section(f"ct-audit: {spec.name}")
+        if not secret_sets:
+            print(f"no secret class sets declared for {spec.name}")
+            continue
+        contract = spec.bench_contract()
+        workload = spec.bench_workloads(_cell_seed(BENCH_SEED, spec.name, "<gate>"), 1)[0]
+        findings = audit_contract(
+            contract,
+            secret_sets,
+            models=models,
+            structures=tuple(workload.harness.structures),
+        )
+        for finding in findings:
+            audited += 1
+            for line in finding.render(contract.registry):
+                print(line)
+            if not finding.matches_expectation:
+                failures += 1
+                print(
+                    f"FAIL: {spec.name}/{finding.secret_set.name} is "
+                    f"{finding.verdict} but declared "
+                    f"{finding.secret_set.expectation} — update "
+                    "repro.audit.SECRET_CLASS_SETS if this is intentional"
+                )
+            elif strict and finding.leaks:
+                failures += 1
+                print(f"FAIL (--strict): {spec.name}/{finding.secret_set.name} leaks")
+    print()
+    print(
+        "CT AUDIT FAILED"
+        if failures
+        else f"CT AUDIT OK: {audited} secret class sets match their declarations"
+    )
+    return 1 if failures else 0
+
+
+# --------------------------------------------------------------------------- #
 # entry point
 # --------------------------------------------------------------------------- #
 def main(argv: Optional[List[str]] = None) -> int:
@@ -740,6 +928,42 @@ def main(argv: Optional[List[str]] = None) -> int:
     graph.add_argument(
         "--output", default=None, help="optionally write the replay payloads as JSON"
     )
+    diff = sub.add_parser(
+        "contract-diff",
+        help="diff regenerated contracts against the golden snapshots",
+    )
+    diff.add_argument(
+        "--golden",
+        default=GOLDEN_DIR,
+        metavar="DIR",
+        help=f"golden snapshot directory (default: {GOLDEN_DIR})",
+    )
+    diff.add_argument(
+        "--update",
+        action="store_true",
+        help="regenerate the goldens (acknowledge an intentional bound change)",
+    )
+    diff.add_argument(
+        "--nf",
+        action="append",
+        metavar="NAME",
+        help="diff only this NF or graph (repeatable; default: all)",
+    )
+    audit = sub.add_parser(
+        "ct-audit",
+        help="constant-time audit: prove or refute class cycle-indistinguishability",
+    )
+    audit.add_argument(
+        "--nf",
+        action="append",
+        metavar="NAME",
+        help="audit only this NF (repeatable; default: all)",
+    )
+    audit.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail on any leak, even ones declared as accepted",
+    )
     args = parser.parse_args(argv)
     if args.command == "bench":
         return run_bench(
@@ -758,6 +982,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             seed=args.seed,
             output=args.output,
         )
+    if args.command == "contract-diff":
+        return run_contract_diff(golden_dir=args.golden, update=args.update, names=args.nf)
+    if args.command == "ct-audit":
+        return run_ct_audit(names=args.nf, strict=args.strict)
     return run_smoke()
 
 

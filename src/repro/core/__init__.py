@@ -9,6 +9,7 @@ The sub-modules mirror the structure of the paper:
 * :mod:`repro.core.bolt` — the BOLT contract generator, §3 (Algorithm 2).
 * :mod:`repro.core.composition` — contracts for chains of NFs, §3.4.
 * :mod:`repro.core.distiller` — the BOLT Distiller, §4.
+* :mod:`repro.core.diff` — contract serialization and golden diffing.
 * :mod:`repro.core.report` — human-readable rendering of contracts.
 """
 
@@ -23,12 +24,21 @@ from repro.core.composition import (
     naive_add_contracts,
     route_class_name,
 )
-from repro.core.distiller import Distiller, DistillerReport
+from repro.core.distiller import Distiller, DistillerReport, explain_term, resolve_pcv
+from repro.core.diff import (
+    ContractDiff,
+    contract_from_json,
+    contract_to_json,
+    diff_contracts,
+    dump_contract,
+    load_contract,
+)
 from repro.core.report import format_contract, format_table
 
 __all__ = [
     "Bolt",
     "BoltConfig",
+    "ContractDiff",
     "ContractEntry",
     "Distiller",
     "DistillerReport",
@@ -40,10 +50,16 @@ __all__ = [
     "PerformanceContract",
     "compose_contracts",
     "compose_graph_contracts",
+    "contract_from_json",
+    "contract_to_json",
+    "diff_contracts",
+    "dump_contract",
+    "explain_term",
     "format_contract",
     "format_table",
+    "load_contract",
     "naive_add_contracts",
-    "route_class_name",
+    "resolve_pcv",
     "qualify_name",
     "split_name",
     "upper_envelope",

@@ -203,3 +203,79 @@ def test_bench_writes_a_well_formed_report(monkeypatch, tmp_path):
                 "packets_per_sec",
             } <= set(workload)
     assert report["timing"]["packets_per_sec"] > 0
+
+
+# --------------------------------------------------------------------------- #
+# contract-diff / ct-audit: the regression gates' exit codes
+# --------------------------------------------------------------------------- #
+def test_contract_diff_update_then_clean_diff(tmp_path, capsys):
+    """`--update` writes the goldens (exit 0); a re-diff is then clean."""
+    golden = tmp_path / "golden"
+    assert cli.main(["contract-diff", "--update", "--golden", str(golden), "--nf", "bridge"]) == 0
+    assert (golden / "bridge.json").exists()
+    assert cli.main(["contract-diff", "--golden", str(golden), "--nf", "bridge"]) == 0
+    assert "CONTRACT DIFF OK" in capsys.readouterr().out
+
+
+def test_contract_diff_names_the_drifted_class_and_exits_nonzero(tmp_path, capsys):
+    golden = tmp_path / "golden"
+    assert cli.main(["contract-diff", "--update", "--golden", str(golden), "--nf", "nat"]) == 0
+    path = golden / "nat.json"
+    payload = json.loads(path.read_text())
+    entry = next(e for e in payload["entries"] if e["class"] == "external_miss")
+    constant = next(t for t in entry["exprs"]["instructions"] if t[0] == [])
+    constant[1] = str(int(constant[1]) - 5)  # golden promises less: tree worsened
+    path.write_text(json.dumps(payload))
+    capsys.readouterr()
+    assert cli.main(["contract-diff", "--golden", str(golden), "--nf", "nat"]) == 1
+    printed = capsys.readouterr().out
+    assert "external_miss" in printed
+    assert "WORSENED" in printed
+    assert "cycles@conservative" in printed and "cycles@realistic" in printed
+    assert "CONTRACT DIFF FAILED" in printed
+
+
+def test_contract_diff_missing_golden_exits_2(tmp_path, capsys):
+    assert cli.main(["contract-diff", "--golden", str(tmp_path), "--nf", "bridge"]) == 2
+    assert "no golden contract" in capsys.readouterr().out
+
+
+def test_contract_diff_unknown_target_exits_2(capsys):
+    assert cli.main(["contract-diff", "--nf", "firewall"]) == 2
+    assert "unknown contract-diff targets" in capsys.readouterr().out
+
+
+def test_ct_audit_clean_tree_exits_0(capsys):
+    assert cli.main(["ct-audit", "--nf", "nat"]) == 0
+    printed = capsys.readouterr().out
+    assert "CT AUDIT OK" in printed
+    # The acceptance bar: the NAT hit/miss delta is reported per model.
+    assert "external_hit vs external_miss @conservative: LEAK" in printed
+    assert "external_hit vs external_miss @realistic: LEAK" in printed
+
+
+def test_ct_audit_strict_fails_on_declared_leaks(capsys):
+    assert cli.main(["ct-audit", "--nf", "nat", "--strict"]) == 1
+    printed = capsys.readouterr().out
+    assert "FAIL (--strict)" in printed and "CT AUDIT FAILED" in printed
+
+
+def test_ct_audit_flags_an_expectation_mismatch(monkeypatch, capsys):
+    from repro import audit
+
+    doctored = dict(audit.SECRET_CLASS_SETS)
+    doctored["bridge"] = (
+        audit.SecretClassSet(
+            "mac-table membership", ("hit", "miss"), "secret", "constant_time"
+        ),
+    )
+    monkeypatch.setattr(cli, "SECRET_CLASS_SETS", doctored)
+    assert cli.main(["ct-audit", "--nf", "bridge"]) == 1
+    printed = capsys.readouterr().out
+    assert "** UNEXPECTED **" in printed
+    assert "is leak but declared constant_time" in printed
+
+
+def test_ct_audit_unknown_nf_exits_2(capsys):
+    assert cli.main(["ct-audit", "--nf", "firewall"]) == 2
+    assert "unknown NFs" in capsys.readouterr().out

@@ -105,3 +105,45 @@ def test_distill_cycles_through_a_hardware_model():
         source = contract.entry_for(entry.class_name).expr(Metric.INSTRUCTIONS)
         for monomial, coeff in source.terms.items():
             assert entry.original.terms[monomial] >= coeff
+
+
+# --------------------------------------------------------------------------- #
+# Human-level term resolution (the §4 deepening behind the diff reports)
+# --------------------------------------------------------------------------- #
+def test_resolve_pcv_prefers_registry_descriptions():
+    from repro.core import resolve_pcv
+
+    registry = PCVRegistry([PCV("fwd.t", "chain links inspected", structure="fwd")])
+    assert resolve_pcv("fwd.t", registry) == "fwd: chain links inspected"
+
+
+def test_resolve_pcv_falls_back_to_conventional_symbols():
+    from repro.core import resolve_pcv
+
+    # No registry: the local symbol's conventional meaning, instance-prefixed.
+    assert resolve_pcv("rev.t") == "rev: hash-chain links traversed (collision-driven)"
+    assert resolve_pcv("f") == "Maglev fill iterations of one table repopulation"
+    # Unknown symbols resolve to themselves rather than inventing prose.
+    assert resolve_pcv("zz") == "zz"
+
+
+def test_explain_term_renders_constants_and_monomials():
+    from repro.core import explain_term
+
+    assert explain_term((), Fraction(882)) == "882 (constant)"
+    line = explain_term(("fwd.t",), Fraction(12))
+    assert line.startswith("12 × fwd.t — ")
+    assert "hash-chain links traversed" in line
+    assert explain_term(("t",), Fraction(9, 2)).startswith("4.50 × t")
+
+
+def test_distiller_explain_reports_shares_and_dominants():
+    contract = _contract(
+        {"slow": PerfExpr.from_terms(t=2, e=50, const=9)}
+    )
+    text = Distiller(contract).explain(Metric.INSTRUCTIONS)
+    assert "toy_nf" in text and "slow:" in text
+    assert "% of worst case)" in text
+    assert "dominant: e — expired entries" in text
+    # Terms come out largest-share first: e (200) before t (20).
+    assert text.index("50 × e") < text.index("2 × t")

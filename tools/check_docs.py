@@ -12,7 +12,12 @@ tools/check_docs.py``).  Two guarantees:
    has a section in ``docs/SERVICE_GRAPHS.md`` naming each of its hop
    NFs, and the authoring guides cross-link each other so the layering
    story stays navigable.
-3. **Quickstart** — the fenced ``python`` code blocks of the README run
+3. **CLI** — every subcommand registered in :data:`repro.cli.SUBCOMMANDS`
+   (``smoke``, ``bench``, ``graph``, ``contract-diff``, ``ct-audit``, …)
+   has a README line naming it in backticks together with backticked
+   exit codes, so the exit-code semantics CI scripts rely on stay
+   documented.
+4. **Quickstart** — the fenced ``python`` code blocks of the README run
    verbatim, in order, in one shared namespace (they build on each
    other), so the copy-pasteable quickstart cannot rot.
 
@@ -30,7 +35,7 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO / "src"))
 
-from repro.cli import GRAPH_MATRIX, NF_MATRIX, smoke_structures  # noqa: E402
+from repro.cli import GRAPH_MATRIX, NF_MATRIX, SUBCOMMANDS, smoke_structures  # noqa: E402
 
 
 def python_blocks(markdown: str) -> list[str]:
@@ -101,6 +106,28 @@ def check_graph_docs(failures: list[str]) -> None:
             failures.append(f"docs/SERVICE_GRAPHS.md: missing cross-link to {doc}")
 
 
+def check_cli_docs(failures: list[str]) -> None:
+    """Every CLI subcommand needs a README row with exit-code semantics.
+
+    A row qualifies when one README line carries the backticked
+    subcommand name *and* at least one backticked exit code digit
+    (``0``/``1``/``2``) — the table format the "CLI subcommands" section
+    uses.  Registering a subcommand in ``repro.cli.SUBCOMMANDS`` without
+    documenting it fails this check.
+    """
+    readme = (REPO / "README.md").read_text(encoding="utf-8")
+    lines = readme.splitlines()
+    for name, _semantics in SUBCOMMANDS:
+        documented = any(
+            f"`{name}`" in line and re.search(r"`[0-2]`", line) for line in lines
+        )
+        if not documented:
+            failures.append(
+                f"README.md: no line documents subcommand `{name}` with its "
+                "backticked exit codes (see the CLI subcommands table)"
+            )
+
+
 def check_readme_quickstart(failures: list[str]) -> None:
     readme = (REPO / "README.md").read_text(encoding="utf-8")
     blocks = python_blocks(readme)
@@ -123,13 +150,16 @@ def main() -> int:
     failures: list[str] = []
     check_contract_docs(failures)
     check_graph_docs(failures)
+    check_cli_docs(failures)
     check_readme_quickstart(failures)
     structures = ", ".join(sorted({type(s).__name__ for s in smoke_structures()}))
     nfs = ", ".join(spec.name for spec in NF_MATRIX)
     graphs = ", ".join(spec.name for spec in GRAPH_MATRIX)
+    subcommands = ", ".join(name for name, _ in SUBCOMMANDS)
     print(f"checked structures: {structures}")
     print(f"checked NFs: {nfs}")
     print(f"checked graphs: {graphs}")
+    print(f"checked subcommands: {subcommands}")
     for failure in failures:
         print(f"FAIL: {failure}")
     print("DOCS CHECK FAILED" if failures else "DOCS CHECK OK")
