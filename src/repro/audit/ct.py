@@ -306,4 +306,44 @@ SECRET_CLASS_SETS: Dict[str, Tuple[SecretClassSet, ...]] = {
             LEAK,
         ),
     ),
+    "firewall": (
+        SecretClassSet(
+            "egress rule verdict",
+            ("denied", "outbound_new"),
+            "whether an outbound destination port is filtered (policy probing "
+            "from the LAN: the denied path does no table work)",
+            LEAK,
+        ),
+        SecretClassSet(
+            "connection tracking",
+            ("outbound_new", "outbound_established"),
+            "whether an outbound flow was already tracked (conn-table oracle: "
+            "admission allocates a slot the refresh path never touches)",
+            LEAK,
+        ),
+        # The default-deny is deliberately shaped so both inbound paths do
+        # one read-only lookup and return a constant: a WAN prober timing
+        # the firewall cannot tell a tracked endpoint from an untracked
+        # one.  CI keeps proving the polynomials identical.
+        SecretClassSet(
+            "inbound probe response",
+            ("inbound_established", "unsolicited"),
+            "whether a WAN-probed endpoint has an active connection "
+            "(conn-table scan from outside)",
+            CONSTANT_TIME,
+        ),
+    ),
+    "monitor": (
+        # The count-min sketch is constant-time by construction (no PCVs)
+        # and the hot/cold verdict blocks are shape-identical, so the
+        # cycle-delta polynomial is literally zero: timing reveals nothing
+        # about which flows the monitor considers heavy hitters.
+        SecretClassSet(
+            "heavy-hitter status",
+            ("hot_flow", "cold_flow"),
+            "whether a flow is flagged as a heavy hitter (detection-threshold "
+            "probing by an attacker pacing their own flows)",
+            CONSTANT_TIME,
+        ),
+    ),
 }

@@ -83,21 +83,30 @@ from repro.core import Distiller, diff_contracts, dump_contract, load_contract
 from repro.core.contract import PerformanceContract
 from repro.hw import ConservativeModel, CycleModel, RealisticModel, model_to_json
 from repro.nf.bridge import generate_bridge_contract
+from repro.nf.firewall import generate_firewall_contract
 from repro.nf.lb import generate_lb_contract
+from repro.nf.monitor import generate_monitor_contract
 from repro.nf.nat import generate_nat_contract
 from repro.nf.router import generate_router_contract
 from repro.net.replay import GraphReplayer
-from repro.net.workloads import GraphWorkload, lb_nat_router_workloads
+from repro.net.workloads import (
+    GraphWorkload,
+    lb_nat_fw_router_workloads,
+    lb_nat_router_workloads,
+)
 from repro.nf.workloads import (
     Workload,
     bridge_workloads,
+    firewall_workloads,
     lb_workloads,
+    monitor_workloads,
     nat_workloads,
     router_workloads,
     worst_case_report,
 )
 from repro.structures import (
     ChainingHashMap,
+    CountMinSketch,
     ExpiringMap,
     LpmTrie,
     MaglevTable,
@@ -134,6 +143,19 @@ EXPECTED_LB_CLASSES = frozenset(
         "no_backends",
     }
 )
+EXPECTED_FIREWALL_CLASSES = frozenset(
+    {
+        "short",
+        "non_ip",
+        "denied",
+        "outbound_established",
+        "outbound_new",
+        "conn_full",
+        "inbound_established",
+        "unsolicited",
+    }
+)
+EXPECTED_MONITOR_CLASSES = frozenset({"short", "non_ip", "cold_flow", "hot_flow"})
 
 #: Bench defaults: table geometries and per-workload packet budget.
 BENCH_CAPACITY = 16
@@ -246,6 +268,24 @@ NF_MATRIX: Tuple[NFSpec, ...] = (
         ),
         EXPECTED_LB_CLASSES,
     ),
+    NFSpec(
+        "firewall",
+        "NF: connection-tracking firewall",
+        generate_firewall_contract,
+        lambda: generate_firewall_contract(BENCH_CAPACITY, BENCH_TIMEOUT),
+        lambda seed, packets: firewall_workloads(
+            seed=seed, capacity=BENCH_CAPACITY, timeout=BENCH_TIMEOUT, packets=packets
+        ),
+        EXPECTED_FIREWALL_CLASSES,
+    ),
+    NFSpec(
+        "monitor",
+        "NF: heavy-hitter monitor",
+        generate_monitor_contract,
+        generate_monitor_contract,
+        lambda seed, packets: monitor_workloads(seed=seed, packets=packets),
+        EXPECTED_MONITOR_CLASSES,
+    ),
 )
 
 
@@ -272,6 +312,11 @@ GRAPH_MATRIX: Tuple[GraphSpec, ...] = (
         "graph: LB -> NAT -> router ingress pipeline",
         lb_nat_router_workloads,
     ),
+    GraphSpec(
+        "lb_nat_fw_router",
+        "graph: LB -> NAT -> firewall -> router egress pipeline",
+        lb_nat_fw_router_workloads,
+    ),
 )
 
 
@@ -283,6 +328,7 @@ def smoke_structures() -> List[Structure]:
         LpmTrie("fib", value_bound=64),
         PortAllocator("nat_ports", pool=range(49152, 49216)),
         MaglevTable("lb_tbl", table_size=13, max_backends=4, value_bound=1 << 16),
+        CountMinSketch("flow_sketch", depth=4, width=32, counter_max=255),
     ]
 
 

@@ -100,14 +100,16 @@ class HwSpec:
 #: Default cache-hit assumptions per structure *kind*, used by the
 #: realistic model when no per-instance override is given.  A hash chain
 #: walk touches scattered links (cold-ish); an LPM trie's top levels are
-#: shared by every lookup and stay resident; a port allocator's free list
-#: and a Maglev table's lookup array are each one small, hot array.
+#: shared by every lookup and stay resident; a port allocator's free
+#: list, a Maglev table's lookup array and a count-min sketch's counter
+#: rows are each one small, hot array.
 DEFAULT_HIT_RATES: Dict[str, Fraction] = {
     "chaining_hash_map": Fraction(9, 10),
     "expiring_map": Fraction(9, 10),
     "lpm_trie": Fraction(19, 20),
     "port_allocator": Fraction(19, 20),
     "maglev_table": Fraction(19, 20),
+    "count_min_sketch": Fraction(19, 20),
 }
 
 

@@ -1,0 +1,236 @@
+"""A heavy-hitter traffic monitor on a count-min sketch.
+
+The sixth NF of the reproduction, and the one built on
+:class:`~repro.structures.CountMinSketch`: every well-formed IPv4 frame
+counts its source flow (``(src_ip << 16) | src_port``) in the sketch
+``hh``, and the updated estimate is compared against a threshold — flows
+at or above it are flagged as heavy hitters, everything else passes
+unremarked.
+
+The interesting property is what the contract *doesn't* contain: the
+sketch's operations are constant-time by construction (no PCVs — see the
+structure's docstring), and the hot/cold branch below is two
+single-return blocks of identical shape, so the ``hot_flow`` and
+``cold_flow`` entries carry byte-identical cost polynomials.  The
+constant-time audit therefore PROVES the pair indistinguishable (a zero
+cycle-delta polynomial under every hardware model): an observer timing
+the monitor learns nothing about which flows it considers hot.  Contrast
+the firewall, whose tracked/untracked classes genuinely leak.
+
+Input classes of the generated contract:
+
+=============  ======================================================
+``short``      frame shorter than headers + ports: dropped
+``non_ip``     EtherType is not IPv4: dropped
+``cold_flow``  estimate below the threshold: passed unremarked
+``hot_flow``   estimate at/above the threshold: flagged heavy hitter
+=============  ======================================================
+
+PCVs: none — the whole point.  There is consequently no bound for an
+adversarial stream to pin; instead the ``header_flood`` workload
+saturates the sketch's counters (pinning every estimate to the
+``counter_max`` ceiling), exercising the structure's only fast path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.core.bolt import Bolt, BoltConfig
+from repro.core.contract import PerformanceContract
+from repro.core.input_class import InputClass
+from repro.core.pcv import PCVRegistry
+from repro.nf.replay import replay_env
+from repro.nfil.builder import FunctionBuilder
+from repro.nfil.program import Module
+from repro.nfil.tracer import ExecutionTrace
+from repro.nfil.validate import validate_module
+from repro.structures import CountMinSketch, StructureModel
+from repro.sym.expr import BV, Const, Sym
+from repro.sym.paths import Path
+from repro.sym.state import SymbolicMemory
+
+__all__ = [
+    "FLAG_COLD",
+    "FLAG_HOT",
+    "DROP_NON_IP",
+    "DROP_SHORT",
+    "MIN_MON_FRAME",
+    "MON_COUNTER_MAX",
+    "MON_DEPTH",
+    "MON_THRESHOLD",
+    "MON_WIDTH",
+    "MONITOR_FUNCTION",
+    "PKT_BASE",
+    "SKETCH_NAME",
+    "build_monitor_module",
+    "classify_monitor_path",
+    "generate_monitor_contract",
+    "make_sketch",
+    "monitor_registry",
+    "monitor_replay_env",
+    "monitor_symbolic_inputs",
+]
+
+#: Entry function of the monitor.
+MONITOR_FUNCTION = "monitor_process"
+
+#: Where the packet buffer lives in NF memory.
+PKT_BASE = 0x1000
+#: Ethernet + IPv4 + transport ports (same layout the NAT parses).
+MIN_MON_FRAME = 38
+#: How many leading packet bytes are made symbolic during analysis.
+PKT_SYM_BYTES = MIN_MON_FRAME
+
+#: EtherType 0x0800 (IPv4) as read by a little-endian 16-bit load.
+ETHERTYPE_IPV4_LE = 0x0008
+
+#: Structure instance name of the heavy-hitter sketch.
+SKETCH_NAME = "hh"
+
+#: Default sketch geometry and flagging threshold.
+MON_DEPTH = 4
+MON_WIDTH = 64
+#: 8-bit saturating counters: a flood pins an estimate here and no
+#: further, which is what the ``header_flood`` workloads assert.
+MON_COUNTER_MAX = 255
+#: Estimates at or above this are flagged as heavy hitters.
+MON_THRESHOLD = 32
+
+#: Return codes of the monitor (all paths return a constant verdict).
+DROP_SHORT = 0xFFB0
+DROP_NON_IP = 0xFFB1
+FLAG_COLD = 0xFFB8
+FLAG_HOT = 0xFFB9
+
+
+def make_sketch(
+    depth: int = MON_DEPTH,
+    width: int = MON_WIDTH,
+    *,
+    counter_max: int = MON_COUNTER_MAX,
+) -> CountMinSketch:
+    """Build the monitor's heavy-hitter sketch."""
+    return CountMinSketch(SKETCH_NAME, depth=depth, width=width, counter_max=counter_max)
+
+
+def monitor_registry() -> PCVRegistry:
+    """PCVs of the monitor contract: the empty registry, by design."""
+    return make_sketch().registry()
+
+
+# --------------------------------------------------------------------------- #
+# Stateless NFIL code
+# --------------------------------------------------------------------------- #
+def build_monitor_module() -> Module:
+    """Build (and validate) the monitor NFIL module."""
+    module = Module("monitor")
+    sketch = make_sketch()
+    sketch.declare(module)
+
+    b = FunctionBuilder(MONITOR_FUNCTION, params=("pkt", "len"))
+    short = b.ult(b.param("len"), MIN_MON_FRAME)
+    b.br(short, "drop_short", "check_ethertype")
+
+    b.block("drop_short")
+    b.ret(DROP_SHORT)
+
+    b.block("check_ethertype")
+    pkt = b.param("pkt")
+    ethertype = b.load(b.add(pkt, 12), size=2)
+    is_ip = b.eq(ethertype, ETHERTYPE_IPV4_LE)
+    b.br(is_ip, "count", "drop_non_ip")
+
+    b.block("drop_non_ip")
+    b.ret(DROP_NON_IP)
+
+    b.block("count")
+    s3 = b.load(b.add(pkt, 26), size=1)
+    s2 = b.load(b.add(pkt, 27), size=1)
+    s1 = b.load(b.add(pkt, 28), size=1)
+    s0 = b.load(b.add(pkt, 29), size=1)
+    src_ip = b.or_(
+        b.or_(b.shl(s3, 24), b.shl(s2, 16)),
+        b.or_(b.shl(s1, 8), s0),
+        name="src_ip",
+    )
+    p1 = b.load(b.add(pkt, 34), size=1)
+    p0 = b.load(b.add(pkt, 35), size=1)
+    src_port = b.or_(b.shl(p1, 8), p0, name="src_port")
+    flow = b.or_(b.shl(src_ip, 16), src_port, name="flow")
+    estimate = b.call(sketch.extern_name("update"), flow, name="estimate")
+    cold = b.ult(estimate, MON_THRESHOLD)
+    # The two verdict blocks are deliberately identical in shape (one
+    # constant return each): hot and cold price the same, which is what
+    # the constant-time audit proves as a zero polynomial.
+    b.br(cold, "pass_cold", "flag_hot")
+
+    b.block("pass_cold")
+    b.ret(FLAG_COLD)
+
+    b.block("flag_hot")
+    b.ret(FLAG_HOT)
+
+    module.add_function(b.build())
+    return validate_module(module)
+
+
+# --------------------------------------------------------------------------- #
+# Contract generation and concrete replay glue
+# --------------------------------------------------------------------------- #
+def monitor_symbolic_inputs() -> Tuple[list, SymbolicMemory, list]:
+    """Symbolic initial state of one monitor invocation."""
+    memory = SymbolicMemory()
+    memory.write_symbolic(PKT_BASE, PKT_SYM_BYTES, "pkt")
+    args: list = [Const(PKT_BASE, 64), Sym("len", 64)]
+    return args, memory, []
+
+
+_CLASS_DESCRIPTIONS = {
+    "short": "frame shorter than Ethernet+IPv4+ports; dropped unparsed",
+    "non_ip": "EtherType is not IPv4; frame dropped",
+    "cold_flow": "estimate below the threshold; passed unremarked",
+    "hot_flow": "estimate at/above the threshold; flagged heavy hitter",
+}
+
+_VERDICT_CLASSES = {
+    DROP_SHORT: "short",
+    DROP_NON_IP: "non_ip",
+    FLAG_COLD: "cold_flow",
+    FLAG_HOT: "hot_flow",
+}
+
+
+def classify_monitor_path(path: Path) -> InputClass:
+    """Map one explored monitor path to its input class."""
+    assert isinstance(path.returned, Const), "every monitor path returns a verdict"
+    name = _VERDICT_CLASSES[path.returned.value]
+    return InputClass(name, description=_CLASS_DESCRIPTIONS[name])
+
+
+def generate_monitor_contract(
+    *, config: Optional[BoltConfig] = None
+) -> PerformanceContract:
+    """Run BOLT end-to-end on the monitor and return its contract."""
+    module = build_monitor_module()
+    if config is None:
+        config = BoltConfig(classifier=classify_monitor_path)
+    elif config.classifier is None:
+        config.classifier = classify_monitor_path
+    sketch = make_sketch()
+    bolt = Bolt(
+        module,
+        MONITOR_FUNCTION,
+        model=StructureModel(sketch),
+        registry=sketch.registry(),
+        config=config,
+    )
+    args, memory, constraints = monitor_symbolic_inputs()
+    return bolt.generate(args, memory=memory, constraints=constraints)
+
+
+def monitor_replay_env(
+    packet: bytes, length: int, trace: ExecutionTrace
+) -> Dict[str, int]:
+    """Build the symbol assignment a concrete monitor execution matches."""
+    return replay_env(packet, PKT_SYM_BYTES, trace, len=length)

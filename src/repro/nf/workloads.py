@@ -1,4 +1,4 @@
-"""Per-NF workloads: uniform, Zipf and provably-worst-case adversarial.
+"""Per-NF workloads: uniform, Zipf, adversarial, scan sweeps and floods.
 
 The generic samplers live in :mod:`repro.traffic.generators`; this module
 supplies what only the NF can know — how to turn sampled keys into frames,
@@ -37,6 +37,32 @@ the worst case to count as *hit*:
   drain exercises ``no_backends``, and one full-revolution time jump
   expires the connection table (``conn.w = wheel_slots``,
   ``conn.e = capacity``).
+* **firewall** — the adversarial stream establishes ``capacity``
+  colliding outbound flows (one maximal connection chain,
+  ``fw_conn.t = capacity``), drains the slot pool into ``conn_full``,
+  probes tracked and untracked endpoints from the WAN, trips the egress
+  filter, and ends with a full-revolution sweep
+  (``fw_conn.w = wheel_slots``, ``fw_conn.e = capacity``).
+* **monitor** — the sketch has no PCVs, so the adversarial stream
+  instead forces both verdicts deterministically: one flow is flooded
+  past the threshold *and* past the counter ceiling (exercising the
+  saturated-update fast path), then a fresh flow passes cold.
+
+Beyond the per-NF adversarial streams, every NF gets two cross-cutting
+workload families:
+
+* **scan_sweep** — a ZMap-style sweep: every frame comes from (or goes
+  to) a *distinct* endpoint, an access pattern the hash-collision
+  workloads never produce.  Sweeps fill state tables front to back and
+  then keep going: the firewall's slot pool and the NAT's port pool run
+  dry mid-stream, driving the at-capacity classes (``conn_full`` /
+  ``no_ports``) under a realistic scanner, not a crafted collision.
+* **header_flood** — a crafted-header flood: one fixed (or nearly
+  fixed) header blasted at line rate, seasoned with runt frames.  Floods
+  pin *repetition*-driven state: the monitor's sketch counters saturate
+  at their ceiling, the router's deepest route is hammered at
+  ``rt.d = 33``, the firewall's default-deny and egress-filter drop
+  paths run hot.
 """
 
 from __future__ import annotations
@@ -46,7 +72,9 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.nf import bridge as bridge_nf
+from repro.nf import firewall as firewall_nf
 from repro.nf import lb as lb_nf
+from repro.nf import monitor as monitor_nf
 from repro.nf import nat as nat_nf
 from repro.nf import router as router_nf
 from repro.nf.replay import NFHarness
@@ -64,10 +92,14 @@ __all__ = [
     "colliding_keys",
     "colliding_mac_keys",
     "colliding_ports",
+    "firewall_harness",
+    "firewall_workloads",
     "lb_control_stimulus",
     "lb_data_stimulus",
     "lb_harness",
     "lb_workloads",
+    "monitor_harness",
+    "monitor_workloads",
     "nat_harness",
     "nat_workloads",
     "router_fib_routes",
@@ -143,7 +175,7 @@ def bridge_workloads(
     population: int = 12,
     ports: int = 4,
 ) -> List[Workload]:
-    """The bridge's three evaluation workloads (fresh state per stream)."""
+    """The bridge's five evaluation workloads (fresh state per stream)."""
     rng = random.Random(seed)
     macs = [rng.randrange(1, 1 << 48) for _ in range(population)]
     uniform = _bridge_mixed(
@@ -156,6 +188,8 @@ def bridge_workloads(
         Workload("uniform", bridge_harness(capacity, timeout), tuple(uniform)),
         Workload("zipf", bridge_harness(capacity, timeout), tuple(zipf)),
         bridge_adversarial(capacity=capacity, timeout=timeout),
+        bridge_scan_sweep(capacity=capacity, timeout=timeout, packets=packets),
+        bridge_header_flood(capacity=capacity, timeout=timeout, packets=packets),
     ]
 
 
@@ -263,6 +297,64 @@ def bridge_adversarial(*, capacity: int = 16, timeout: int = 50) -> Workload:
     )
 
 
+def bridge_scan_sweep(
+    *, capacity: int = 16, timeout: int = 50, packets: int = 150
+) -> Workload:
+    """A ZMap-style sweep across the segment: one source MAC per frame.
+
+    Every frame floods (the fixed destination is never learned) while its
+    distinct source *is* learned, so the sweep fills the MAC table front
+    to back and keeps churning it — the learning path under a scanner,
+    with none of the hash collisions the adversarial stream crafts.
+    """
+    harness = bridge_harness(capacity, timeout)
+    target = 0xBADD00C0FFEE  # swept-towards MAC, never a source
+    stimuli = [
+        Stimulus(
+            packet=ethernet_frame(target, 0x2D0000000000 + n),
+            scalars={"in_port": n % 4, "time": n},
+            note="scan",
+        )
+        for n in range(packets)
+    ]
+    return Workload("scan_sweep", harness, tuple(stimuli))
+
+
+def bridge_header_flood(
+    *, capacity: int = 16, timeout: int = 50, packets: int = 150
+) -> Workload:
+    """A crafted-header flood: one attacker MAC hammering one victim.
+
+    The victim announces itself, then the attacker blasts the same header
+    at it; the victim occasionally answers (keeping its entry warm),
+    every 13th frame is a runt, and every 29th arrives on the victim's
+    own port — the hairpin the bridge must drop.
+    """
+    harness = bridge_harness(capacity, timeout)
+    victim, attacker = 0x00AA00000001, 0x00BB00000002
+    stimuli = [
+        Stimulus(
+            packet=ethernet_frame(0xBADD00C0FFEE, victim),
+            scalars={"in_port": 1, "time": 0},
+            note="learn",
+        )
+    ]
+    for n in range(1, packets):
+        packet = ethernet_frame(victim, attacker)
+        in_port = 2
+        if n % 13 == 0:
+            packet = packet[: n % 12]  # runt burst
+        elif n % 47 == 1:
+            packet = ethernet_frame(attacker, victim)  # victim answers
+            in_port = 1
+        elif n % 29 == 0:
+            in_port = 1  # hairpin onto the victim's own port
+        stimuli.append(
+            Stimulus(packet=packet, scalars={"in_port": in_port, "time": n}, note="flood")
+        )
+    return Workload("header_flood", harness, tuple(stimuli))
+
+
 # --------------------------------------------------------------------------- #
 # Router
 # --------------------------------------------------------------------------- #
@@ -338,7 +430,7 @@ def _router_mixed(rng: random.Random, indices: List[int], *, note: str) -> List[
 
 
 def router_workloads(*, seed: int = 2019, packets: int = 150) -> List[Workload]:
-    """The router's three evaluation workloads (fresh FIB per stream)."""
+    """The router's five evaluation workloads (fresh FIB per stream)."""
     rng = random.Random(seed)
     population = len(_router_destinations())
     uniform = _router_mixed(rng, uniform_indices(rng, population, packets), note="uniform")
@@ -347,6 +439,8 @@ def router_workloads(*, seed: int = 2019, packets: int = 150) -> List[Workload]:
         Workload("uniform", router_harness(), tuple(uniform)),
         Workload("zipf", router_harness(), tuple(zipf)),
         router_adversarial(),
+        router_scan_sweep(packets=packets),
+        router_header_flood(packets=packets),
     ]
 
 
@@ -368,6 +462,48 @@ def router_adversarial() -> Workload:
     fib = harness.structures[0]
     return Workload(
         "adversarial",
+        harness,
+        tuple(stimuli),
+        expected_worst={fib.pcv_name("d"): MAX_DEPTH},
+    )
+
+
+def router_scan_sweep(*, packets: int = 150) -> Workload:
+    """A ZMap-style destination sweep across the IPv4 space.
+
+    Destinations stride through the address space (a golden-ratio walk,
+    so consecutive probes land far apart); most find no route, some land
+    in the routed prefixes — the FIB under a scanner instead of a traffic
+    mix.
+    """
+    stimuli = [
+        Stimulus(packet=ipv4_frame((0x9E3779B1 * (n + 1)) & 0xFFFFFFFF), note="scan")
+        for n in range(packets)
+    ]
+    return Workload("scan_sweep", router_harness(), tuple(stimuli))
+
+
+def router_header_flood(*, packets: int = 150) -> Workload:
+    """A crafted-header flood hammering the FIB's deepest route.
+
+    Two of every three frames carry the chain address with a full TTL —
+    each walks all ``rt.d = 33`` trie nodes, so the flood pins the depth
+    bound by sheer repetition; the rest arrive with ``ttl = 1`` (an
+    expiry flood), and every 31st is a runt.
+    """
+    harness = router_harness()
+    fib = harness.structures[0]
+    stimuli: List[Stimulus] = []
+    for n in range(packets):
+        if n % 31 == 0:
+            packet = ipv4_frame(CHAIN_ADDRESS)[: n % 20]
+        elif n % 3 == 0:
+            packet = ipv4_frame(CHAIN_ADDRESS, ttl=1)
+        else:
+            packet = ipv4_frame(CHAIN_ADDRESS, ttl=255)
+        stimuli.append(Stimulus(packet=packet, note="flood"))
+    return Workload(
+        "header_flood",
         harness,
         tuple(stimuli),
         expected_worst={fib.pcv_name("d"): MAX_DEPTH},
@@ -452,7 +588,7 @@ def nat_workloads(
     packets: int = 150,
     population: int = 12,
 ) -> List[Workload]:
-    """The NAT's three evaluation workloads (fresh state per stream).
+    """The NAT's five evaluation workloads (fresh state per stream).
 
     The uniform/Zipf pool holds ``4 * capacity`` sequential ports from
     :data:`repro.nf.nat.PORT_BASE`: leases are never released back (the
@@ -475,6 +611,8 @@ def nat_workloads(
         Workload("uniform", nat_harness(capacity, timeout, pool=pool), tuple(uniform)),
         Workload("zipf", nat_harness(capacity, timeout, pool=pool), tuple(zipf)),
         nat_adversarial(capacity=capacity, timeout=timeout),
+        nat_scan_sweep(capacity=capacity, timeout=timeout, packets=packets),
+        nat_header_flood(capacity=capacity, timeout=timeout, packets=packets),
     ]
 
 
@@ -564,6 +702,61 @@ def nat_adversarial(*, capacity: int = 16, timeout: int = 50) -> Workload:
             rev.pcv_name("w"): wheel_slots,
         },
     )
+
+
+def nat_scan_sweep(
+    *, capacity: int = 16, timeout: int = 50, packets: int = 150
+) -> Workload:
+    """A ZMap-style sweep from inside: one fresh internal flow per frame.
+
+    Ports are leased for the bench lifetime, so a sweep of distinct
+    sources drains the ``4 * capacity`` pool front to back and every
+    admission after that is ``no_ports`` — pool exhaustion under a
+    realistic scanner, not a crafted collision.
+    """
+    pool = list(range(nat_nf.PORT_BASE, nat_nf.PORT_BASE + 4 * capacity))
+    harness = nat_harness(capacity, timeout, pool=pool)
+    stimuli = [
+        Stimulus(
+            packet=nat_frame(0x2D000000 + n, 33333, WAN_SERVER, 80),
+            scalars={"in_port": nat_nf.LAN_PORT, "time": n},
+            note="scan",
+        )
+        for n in range(packets)
+    ]
+    return Workload("scan_sweep", harness, tuple(stimuli))
+
+
+def nat_header_flood(
+    *, capacity: int = 16, timeout: int = 50, packets: int = 150
+) -> Workload:
+    """A WAN-side port-scan flood against the NAT's public address.
+
+    One internal flow establishes a lease, then the flood probes the
+    public ports: every 5th probe hits the lease (refreshing it, so it
+    never expires mid-flood), the rest probe unleased ports and are
+    dropped; every 17th frame is a runt.
+    """
+    pool = list(range(nat_nf.PORT_BASE, nat_nf.PORT_BASE + 4 * capacity))
+    harness = nat_harness(capacity, timeout, pool=pool)
+    inside_ip, inside_port = 0x0A000063, 40000  # 10.0.0.99, the one real flow
+    stimuli = [
+        Stimulus(
+            packet=nat_frame(inside_ip, inside_port, WAN_SERVER, 80),
+            scalars={"in_port": nat_nf.LAN_PORT, "time": 0},
+            note="lease",
+        )
+    ]
+    for n in range(1, packets):
+        scalars = {"in_port": 1, "time": n}
+        if n % 17 == 0:
+            packet = nat_frame(WAN_CLIENT, 443, NAT_PUBLIC, pool[0])[: n % 12]
+        elif n % 5 == 0:
+            packet = nat_frame(WAN_CLIENT, 443, NAT_PUBLIC, pool[0])
+        else:
+            packet = nat_frame(WAN_CLIENT, 443, NAT_PUBLIC, pool[-1] + 1 + (n % 512))
+        stimuli.append(Stimulus(packet=packet, scalars=scalars, note="flood"))
+    return Workload("header_flood", harness, tuple(stimuli))
 
 
 # --------------------------------------------------------------------------- #
@@ -689,7 +882,7 @@ def lb_workloads(
     table_size: int = 13,
     max_backends: int = 4,
 ) -> List[Workload]:
-    """The LB's three evaluation workloads (fresh state per stream)."""
+    """The LB's five evaluation workloads (fresh state per stream)."""
     rng = random.Random(seed)
     flows = [
         (rng.randrange(1 << 32), rng.randrange(1024, 1 << 16)) for _ in range(population)
@@ -706,6 +899,8 @@ def lb_workloads(
         Workload("uniform", lb_harness(capacity, timeout, **geometry), tuple(uniform)),
         Workload("zipf", lb_harness(capacity, timeout, **geometry), tuple(zipf)),
         lb_adversarial(capacity=capacity, timeout=timeout, **geometry),
+        lb_scan_sweep(capacity=capacity, timeout=timeout, packets=packets, **geometry),
+        lb_header_flood(capacity=capacity, timeout=timeout, packets=packets, **geometry),
     ]
 
 
@@ -793,6 +988,448 @@ def lb_adversarial(
             tbl.pcv_name("f"): max_fill_iterations(max_backends, table_size),
         },
     )
+
+
+def _lb_scan_backends(max_backends: int) -> List[int]:
+    """Deterministic distinct backend ids for the sweep/flood streams."""
+    return [101 + 97 * i for i in range(max_backends)]
+
+
+def lb_scan_sweep(
+    *,
+    capacity: int = 16,
+    timeout: int = 50,
+    table_size: int = 13,
+    max_backends: int = 4,
+    packets: int = 150,
+) -> Workload:
+    """A ZMap-style sweep through the VIP: one fresh flow per frame.
+
+    Every frame selects and binds a brand-new flow (the ``new_flow``
+    path, back to back), churning the connection table without a single
+    repeat — affinity buys nothing under a scanner.
+    """
+    harness = lb_harness(
+        capacity, timeout, table_size=table_size, max_backends=max_backends
+    )
+    stimuli: List[Stimulus] = [
+        lb_control_stimulus(lb_nf.CMD_ADD, backend, 0, "ctrl")
+        for backend in _lb_scan_backends(max_backends)
+    ]
+    for n in range(packets):
+        packet = nat_frame(0x2D000000 + n, 33333, WAN_SERVER, 80)
+        stimuli.append(lb_data_stimulus(packet, n, "scan"))
+    return Workload("scan_sweep", harness, tuple(stimuli))
+
+
+def lb_header_flood(
+    *,
+    capacity: int = 16,
+    timeout: int = 50,
+    table_size: int = 13,
+    max_backends: int = 4,
+    packets: int = 150,
+) -> Workload:
+    """A crafted-header flood: one flow hammering the VIP at line rate.
+
+    The first data frame binds the flow; every later one rides the
+    affinity fast path (``existing_flow``), refreshed far faster than it
+    can expire; every 17th frame is a runt.
+    """
+    harness = lb_harness(
+        capacity, timeout, table_size=table_size, max_backends=max_backends
+    )
+    stimuli: List[Stimulus] = [
+        lb_control_stimulus(lb_nf.CMD_ADD, backend, 0, "ctrl")
+        for backend in _lb_scan_backends(max_backends)
+    ]
+    frame = nat_frame(0x0A0A0A0A, 55555, WAN_SERVER, 80)
+    for n in range(packets):
+        if n % 17 == 3:
+            stimuli.append(lb_data_stimulus(frame[: n % 12], n, "flood"))
+        else:
+            stimuli.append(lb_data_stimulus(frame, n, "flood"))
+    return Workload("header_flood", harness, tuple(stimuli))
+
+
+# --------------------------------------------------------------------------- #
+# Firewall
+# --------------------------------------------------------------------------- #
+def firewall_harness(
+    capacity: int = 16,
+    timeout: int = 50,
+    *,
+    slots: Optional[Iterable[int]] = None,
+) -> NFHarness:
+    """A fresh connection-tracking firewall wired for replay.
+
+    The handler merges the connection table and the slot allocator into
+    one dispatch table, exactly like the NAT's three-instance merge.
+    """
+    conn, pool = firewall_nf.make_firewall_state(capacity, timeout, slots=slots)
+    handler = ExternHandler().merge(conn).merge(pool)
+    return NFHarness(
+        "firewall",
+        firewall_nf.build_firewall_module(),
+        firewall_nf.FIREWALL_FUNCTION,
+        handler=handler,
+        structures=(conn, pool),
+        pkt_base=firewall_nf.PKT_BASE,
+        sym_bytes=firewall_nf.PKT_SYM_BYTES,
+        scalar_order=("len", "in_port", "time"),
+    )
+
+
+def _firewall_mixed(
+    rng: random.Random,
+    indices: List[int],
+    flows: List[Tuple[int, int]],
+    *,
+    note: str,
+) -> List[Stimulus]:
+    """Turn sampled flow indices into a frame mix covering every class.
+
+    Most frames are LAN→WAN traffic from the sampled flow (new or
+    established); every 17th is truncated (``short``), every 11th carries
+    a non-IPv4 EtherType (``non_ip``), every 23rd is an outbound frame to
+    the filtered port (``denied``), and every 5th is a WAN frame probing
+    the sampled endpoint (``inbound_established`` once the connection
+    exists, ``unsolicited`` before it does or after it expires).
+    """
+    stimuli: List[Stimulus] = []
+    for n, index in enumerate(indices):
+        src_ip, src_port = flows[index]
+        scalars = {"in_port": firewall_nf.LAN_PORT, "time": n * 3}
+        if n % 17 == 0:
+            packet = nat_frame(src_ip, src_port, WAN_SERVER, 80)[: rng.randrange(0, 37)]
+        elif n % 11 == 0:
+            packet = nat_frame(src_ip, src_port, WAN_SERVER, 80, ethertype=(0x86, 0xDD))
+        elif n % 23 == 6:
+            packet = nat_frame(src_ip, src_port, WAN_SERVER, firewall_nf.DENY_PORT)
+        elif n % 5 == 0:
+            packet = nat_frame(WAN_CLIENT, 443, src_ip, src_port)
+            scalars["in_port"] = 1 + rng.randrange(3)
+        else:
+            packet = nat_frame(src_ip, src_port, WAN_SERVER, 80)
+        stimuli.append(Stimulus(packet=packet, scalars=scalars, note=note))
+    return stimuli
+
+
+def firewall_workloads(
+    *,
+    seed: int = 2019,
+    capacity: int = 16,
+    timeout: int = 50,
+    packets: int = 150,
+    population: int = 12,
+) -> List[Workload]:
+    """The firewall's five evaluation workloads (fresh state per stream).
+
+    The uniform/Zipf streams run with a generous ``4 * capacity`` slot
+    pool so realistic traffic is admitted freely — exhausting the pool
+    (and reaching ``conn_full``) is the scan sweep's job, which runs with
+    the default ``capacity``-sized pool.
+    """
+    rng = random.Random(seed)
+    flows = [
+        (rng.randrange(1 << 32), rng.randrange(1024, 1 << 16)) for _ in range(population)
+    ]
+    slots = range(1, 4 * capacity + 1)
+    uniform = _firewall_mixed(
+        rng, uniform_indices(rng, population, packets), flows, note="uniform"
+    )
+    zipf = _firewall_mixed(
+        rng, zipf_indices(rng, population, packets), flows, note="zipf"
+    )
+    return [
+        Workload(
+            "uniform", firewall_harness(capacity, timeout, slots=slots), tuple(uniform)
+        ),
+        Workload("zipf", firewall_harness(capacity, timeout, slots=slots), tuple(zipf)),
+        firewall_adversarial(capacity=capacity, timeout=timeout),
+        firewall_scan_sweep(capacity=capacity, timeout=timeout, packets=packets),
+        firewall_header_flood(capacity=capacity, timeout=timeout, packets=packets),
+    ]
+
+
+def firewall_adversarial(*, capacity: int = 16, timeout: int = 50) -> Workload:
+    """The firewall worst-case stream: every ``fw_conn`` PCV at its bound.
+
+    Phases (times chosen so nothing expires before the final sweep):
+
+    1. ``fill`` — ``capacity`` outbound flows whose keys collide in the
+       connection table are admitted, building one maximal chain and
+       draining the (default, ``capacity``-sized) slot pool.
+    2. ``worst_t`` — a frame from the *last* established flow: the lookup
+       and lease refresh walk ``fw_conn.t = capacity`` links.
+    3. ``conn_full`` — a brand-new outbound flow finds no slot: dropped.
+    4. ``inbound`` — a WAN frame to the tail endpoint: forwarded
+       read-only (``inbound_established``).
+    5. ``denied`` — an outbound frame to the filtered port: dropped by
+       the egress rule before any table work.
+    6. ``unsolicited`` — a WAN frame to an untracked endpoint: dropped.
+    7. ``worst_e`` — time jumps beyond a full wheel revolution past every
+       deadline: one sweep advances ``fw_conn.w = wheel_slots`` slots and
+       expires all ``fw_conn.e = capacity`` connections.
+    """
+    harness = firewall_harness(capacity, timeout)
+    conn = harness.structures[0]
+    wheel_slots = conn.wheel_slots
+    flows = colliding_keys(capacity, buckets=capacity)
+    flow_set = set(flows)
+    stimuli: List[Stimulus] = []
+    for i, key in enumerate(flows):
+        stimuli.append(
+            Stimulus(
+                packet=nat_frame(key >> 16, key & 0xFFFF, WAN_SERVER, 80),
+                scalars={"in_port": firewall_nf.LAN_PORT, "time": i},
+                note="fill",
+            )
+        )
+    tail = flows[-1]
+    stimuli.append(
+        Stimulus(
+            packet=nat_frame(tail >> 16, tail & 0xFFFF, WAN_SERVER, 80),
+            scalars={"in_port": firewall_nf.LAN_PORT, "time": capacity},
+            note="worst_t",
+        )
+    )
+    fresh = next(k for k in range(1, 1 << 16) if k not in flow_set)
+    stimuli.append(
+        Stimulus(
+            packet=nat_frame(fresh >> 16, fresh & 0xFFFF, WAN_SERVER, 80),
+            scalars={"in_port": firewall_nf.LAN_PORT, "time": capacity},
+            note="conn_full",
+        )
+    )
+    stimuli.append(
+        Stimulus(
+            packet=nat_frame(WAN_CLIENT, 443, tail >> 16, tail & 0xFFFF),
+            scalars={"in_port": 1, "time": capacity},
+            note="inbound",
+        )
+    )
+    stimuli.append(
+        Stimulus(
+            packet=nat_frame(fresh >> 16, fresh & 0xFFFF, WAN_SERVER, firewall_nf.DENY_PORT),
+            scalars={"in_port": firewall_nf.LAN_PORT, "time": capacity},
+            note="denied",
+        )
+    )
+    stimuli.append(
+        Stimulus(
+            packet=nat_frame(WAN_CLIENT, 443, fresh >> 16, fresh & 0xFFFF),
+            scalars={"in_port": 1, "time": capacity},
+            note="unsolicited",
+        )
+    )
+    # Latest deadline: the tail refresh at time `capacity` plus the
+    # timeout.  Jumping past it by a full revolution makes the sweep
+    # advance wheel_slots slots and visit every deadline slot.
+    doom = capacity + timeout + wheel_slots + 1
+    stimuli.append(
+        Stimulus(
+            packet=nat_frame(WAN_CLIENT, 443, fresh >> 16, fresh & 0xFFFF),
+            scalars={"in_port": 1, "time": doom},
+            note="worst_e",
+        )
+    )
+    return Workload(
+        "adversarial",
+        harness,
+        tuple(stimuli),
+        expected_worst={
+            conn.pcv_name("t"): capacity,
+            conn.pcv_name("e"): capacity,
+            conn.pcv_name("w"): wheel_slots,
+        },
+    )
+
+
+def firewall_scan_sweep(
+    *, capacity: int = 16, timeout: int = 50, packets: int = 150
+) -> Workload:
+    """A ZMap-style sweep from inside: one fresh source per frame.
+
+    Slots are leased for the bench lifetime, so a sweep of distinct
+    sources drains the default ``capacity``-sized pool front to back and
+    every admission after that is ``conn_full`` — connection-table
+    exhaustion under a realistic scanner, not a crafted collision.
+    """
+    harness = firewall_harness(capacity, timeout)
+    stimuli = [
+        Stimulus(
+            packet=nat_frame(0x2D000000 + n, 33333, WAN_SERVER, 80),
+            scalars={"in_port": firewall_nf.LAN_PORT, "time": n},
+            note="scan",
+        )
+        for n in range(packets)
+    ]
+    return Workload("scan_sweep", harness, tuple(stimuli))
+
+
+def firewall_header_flood(
+    *, capacity: int = 16, timeout: int = 50, packets: int = 150
+) -> Workload:
+    """A SYN-flood-shaped blast against the stateful default-deny.
+
+    Most frames are WAN probes of one never-established LAN endpoint
+    (``unsolicited``, back to back); every 5th is an outbound frame to
+    the filtered port (the egress rule running hot), and every 17th is a
+    runt.
+    """
+    harness = firewall_harness(capacity, timeout)
+    victim_ip, victim_port = 0x0A00002A, 8080  # the probed LAN endpoint
+    stimuli: List[Stimulus] = []
+    for n in range(packets):
+        if n % 17 == 0:
+            packet = nat_frame(WAN_CLIENT, 443, victim_ip, victim_port)[: n % 12]
+            scalars = {"in_port": 1, "time": n}
+        elif n % 5 == 2:
+            packet = nat_frame(victim_ip, victim_port, WAN_SERVER, firewall_nf.DENY_PORT)
+            scalars = {"in_port": firewall_nf.LAN_PORT, "time": n}
+        else:
+            packet = nat_frame(WAN_CLIENT, 443 + (n % 7), victim_ip, victim_port)
+            scalars = {"in_port": 1 + (n % 3), "time": n}
+        stimuli.append(Stimulus(packet=packet, scalars=scalars, note="flood"))
+    return Workload("header_flood", harness, tuple(stimuli))
+
+
+# --------------------------------------------------------------------------- #
+# Monitor
+# --------------------------------------------------------------------------- #
+def monitor_harness() -> NFHarness:
+    """A fresh heavy-hitter monitor wired for replay.
+
+    The sketch's geometry is fixed by :mod:`repro.nf.monitor` (the module
+    and the contract bake in the default depth), so the harness takes no
+    geometry knobs.
+    """
+    sketch = monitor_nf.make_sketch()
+    return NFHarness(
+        "monitor",
+        monitor_nf.build_monitor_module(),
+        monitor_nf.MONITOR_FUNCTION,
+        handler=sketch,
+        structures=(sketch,),
+        pkt_base=monitor_nf.PKT_BASE,
+        sym_bytes=monitor_nf.PKT_SYM_BYTES,
+        scalar_order=("len",),
+    )
+
+
+def _monitor_mixed(
+    rng: random.Random,
+    indices: List[int],
+    flows: List[Tuple[int, int]],
+    *,
+    note: str,
+) -> List[Stimulus]:
+    """Turn sampled flow indices into a frame mix.
+
+    Every 17th frame is truncated (``short``), every 11th carries a
+    non-IPv4 EtherType (``non_ip``); the rest count their flow in the
+    sketch (``cold_flow`` until a flow's estimate crosses the threshold,
+    ``hot_flow`` after — which the head of a Zipf stream genuinely does).
+    """
+    stimuli: List[Stimulus] = []
+    for n, index in enumerate(indices):
+        src_ip, src_port = flows[index]
+        if n % 17 == 0:
+            packet = nat_frame(src_ip, src_port, WAN_SERVER, 80)[: rng.randrange(0, 37)]
+        elif n % 11 == 0:
+            packet = nat_frame(src_ip, src_port, WAN_SERVER, 80, ethertype=(0x86, 0xDD))
+        else:
+            packet = nat_frame(src_ip, src_port, WAN_SERVER, 80)
+        stimuli.append(Stimulus(packet=packet, note=note))
+    return stimuli
+
+
+def monitor_workloads(
+    *, seed: int = 2019, packets: int = 150, population: int = 12
+) -> List[Workload]:
+    """The monitor's five evaluation workloads (fresh sketch per stream)."""
+    rng = random.Random(seed)
+    flows = [
+        (rng.randrange(1 << 32), rng.randrange(1024, 1 << 16)) for _ in range(population)
+    ]
+    uniform = _monitor_mixed(
+        rng, uniform_indices(rng, population, packets), flows, note="uniform"
+    )
+    zipf = _monitor_mixed(
+        rng, zipf_indices(rng, population, packets), flows, note="zipf"
+    )
+    return [
+        Workload("uniform", monitor_harness(), tuple(uniform)),
+        Workload("zipf", monitor_harness(), tuple(zipf)),
+        monitor_adversarial(),
+        monitor_scan_sweep(packets=packets),
+        monitor_header_flood(packets=packets),
+    ]
+
+
+def monitor_adversarial() -> Workload:
+    """The monitor worst-case stream — which *has* no cost worst case.
+
+    The sketch contributes no PCVs, so there is no bound to pin; instead
+    the stream deterministically forces every verdict and the structure's
+    only fast path: one flow is blasted ``counter_max + 1`` times —
+    crossing the threshold (``hot_flow``) and saturating its counters, so
+    the final update takes the saturated path — then a fresh flow passes
+    cold, a runt and a non-IPv4 frame cover the drop classes.
+    """
+    harness = monitor_harness()
+    hot_ip, hot_port = 0xC0A80001, 40001  # 192.168.0.1, the heavy hitter
+    hot_frame = nat_frame(hot_ip, hot_port, WAN_SERVER, 80)
+    stimuli: List[Stimulus] = [
+        Stimulus(packet=hot_frame, note="flood")
+        for _ in range(monitor_nf.MON_COUNTER_MAX + 1)
+    ]
+    stimuli.append(
+        Stimulus(packet=nat_frame(0x0A000001, 12001, WAN_SERVER, 80), note="cold")
+    )
+    stimuli.append(Stimulus(packet=hot_frame[:9], note="short"))
+    stimuli.append(
+        Stimulus(
+            packet=nat_frame(hot_ip, hot_port, WAN_SERVER, 80, ethertype=(0x86, 0xDD)),
+            note="non_ip",
+        )
+    )
+    return Workload("adversarial", harness, tuple(stimuli))
+
+
+def monitor_scan_sweep(*, packets: int = 150) -> Workload:
+    """A ZMap-style sweep past the monitor: one fresh source per frame.
+
+    No flow repeats, so early estimates stay cold; a long enough sweep
+    still heats the sketch through sheer collision mass — exactly the
+    false-positive behaviour a count-min sketch trades for its constant
+    cost.
+    """
+    stimuli = [
+        Stimulus(packet=nat_frame(0x2D000000 + n, 33333, WAN_SERVER, 80), note="scan")
+        for n in range(packets)
+    ]
+    return Workload("scan_sweep", monitor_harness(), tuple(stimuli))
+
+
+def monitor_header_flood(*, packets: int = 150) -> Workload:
+    """A crafted-header flood: one flow blasted at line rate.
+
+    The flow crosses the threshold after ``MON_THRESHOLD`` frames and
+    saturates its counters at ``counter_max`` — the flood pins every one
+    of its row counters to the ceiling, after which updates ride the
+    saturated fast path; every 31st frame is a runt.
+    """
+    harness = monitor_harness()
+    frame = nat_frame(0xC6336417, 6667, WAN_SERVER, 80)  # the flooding source
+    stimuli: List[Stimulus] = []
+    for n in range(packets):
+        if n % 31 == 0:
+            stimuli.append(Stimulus(packet=frame[: n % 12], note="runt"))
+        else:
+            stimuli.append(Stimulus(packet=frame, note="flood"))
+    return Workload("header_flood", harness, tuple(stimuli))
 
 
 def worst_case_report(

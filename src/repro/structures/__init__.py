@@ -23,6 +23,9 @@ Structures:
   consistent-hash lookup table (PCV ``f``, fill iterations per
   repopulation — the library's first control-plane-dominated cost); backs
   the load balancer's backend selection.
+* :class:`~repro.structures.sketch.CountMinSketch` — fixed-geometry
+  count-min sketch with saturating counters (no PCVs; collisions corrupt
+  estimates, never latency); backs the heavy-hitter monitor.
 
 Structure *kinds* document their cost formulas over local PCV symbols;
 every *instance* emits them instance-qualified (``fwd.t`` vs ``rev.t``),
@@ -44,6 +47,7 @@ from repro.structures.hashmap import ChainingHashMap
 from repro.structures.lpm import LpmTrie
 from repro.structures.maglev import MaglevTable, max_fill_iterations
 from repro.structures.portalloc import PortAllocator
+from repro.structures.sketch import CountMinSketch
 from repro.structures.validation import (
     OperationCheck,
     StructureContractError,
@@ -54,6 +58,7 @@ from repro.structures.validation import (
 __all__ = [
     "NOT_FOUND",
     "ChainingHashMap",
+    "CountMinSketch",
     "ExpiringMap",
     "LpmTrie",
     "MaglevTable",

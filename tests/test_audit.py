@@ -63,6 +63,44 @@ def test_router_membership_is_constant_time_at_equal_depth(gate_targets):
     assert all(v.indistinguishable for v in finding.verdicts)
 
 
+def test_firewall_leaks_are_declared_and_its_default_deny_is_proven(gate_targets):
+    """The firewall knowingly leaks its policy and tracking state on the
+    LAN side, while the WAN-facing default-deny is proven constant-time."""
+    findings = _audit("firewall", gate_targets)
+    by_name = {f.secret_set.name: f for f in findings}
+    # The denied path skips the table work the admission path does.
+    egress = by_name["egress rule verdict"]
+    assert egress.verdict == LEAK and egress.matches_expectation
+    # Admission allocates a slot the refresh path never touches.
+    tracking = by_name["connection tracking"]
+    assert tracking.verdict == LEAK and tracking.matches_expectation
+    for verdict in tracking.verdicts:
+        assert not verdict.indistinguishable
+        assert verdict.max_delta > 0
+    # Both inbound paths do one read-only lookup and return a constant: a
+    # WAN prober cannot time-scan the connection table.
+    probe = by_name["inbound probe response"]
+    assert probe.verdict == CONSTANT_TIME and probe.matches_expectation
+    for verdict in probe.verdicts:
+        assert verdict.indistinguishable
+        assert not verdict.delta
+
+
+def test_monitor_heavy_hitter_proof_is_a_zero_polynomial(gate_targets):
+    """The sketch satellite's acceptance bar: the hot/cold cycle delta is
+    the literal zero polynomial under every model — a proof over all PCV
+    valuations, not a sampled near-zero."""
+    [finding] = _audit("monitor", gate_targets)
+    assert finding.secret_set.name == "heavy-hitter status"
+    assert finding.verdict == CONSTANT_TIME and finding.matches_expectation
+    assert {v.model for v in finding.verdicts} == {"conservative", "realistic"}
+    for verdict in finding.verdicts:
+        assert verdict.indistinguishable
+        assert not verdict.delta
+        assert verdict.delta.variables() == set()
+        assert verdict.max_delta == 0 and verdict.witness is None
+
+
 def test_every_declared_expectation_matches_the_computed_verdict(gate_targets):
     """The full registry agrees with the code — what `ct-audit` gates on."""
     for nf_name, secret_sets in SECRET_CLASS_SETS.items():

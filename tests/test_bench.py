@@ -16,19 +16,29 @@ def test_bench_writes_a_green_report(tmp_path, capsys):
     report = json.loads(output.read_text())
     assert report["schema"] == "repro-bench/1"
     assert report["ok"] is True
-    assert set(report["nfs"]) == {"bridge", "router", "nat", "lb"}
+    assert set(report["nfs"]) == {"bridge", "router", "nat", "lb", "firewall", "monitor"}
     assert set(report["hw_models"]) == {"conservative", "realistic"}
     for nf, record in report["nfs"].items():
         assert record["failures"] == 0
-        assert set(record["workloads"]) == {"uniform", "zipf", "adversarial"}
+        assert set(record["workloads"]) == {
+            "uniform",
+            "zipf",
+            "adversarial",
+            "scan_sweep",
+            "header_flood",
+        }
         for name, workload in record["workloads"].items():
             assert workload["ok"] is True, (nf, name)
             assert workload["violations"] == []
             for summary in workload["classes"].values():
                 for model, cycles in summary["max_cycles"].items():
                     assert cycles["measured"] <= cycles["predicted"], (nf, name, model)
-        worst = record["workloads"]["adversarial"]["worst_case"]
-        assert worst and all(check["hit"] for check in worst.values())
+        worst = record["workloads"]["adversarial"].get("worst_case", {})
+        # The monitor's sketch has no PCVs, so its adversarial stream has
+        # no bound to pin; every other NF pins at least one.
+        if nf != "monitor":
+            assert worst, nf
+        assert all(check["hit"] for check in worst.values())
     # The bridge adversarial stream pins every (namespaced) PCV to its bound.
     bridge_worst = report["nfs"]["bridge"]["workloads"]["adversarial"]["worst_case"]
     assert {pcv: check["observed"] for pcv, check in bridge_worst.items()} == {
@@ -78,9 +88,42 @@ def test_bench_writes_a_green_report(tmp_path, capsys):
         "backend_drained",
         "no_backends",
     }
-    # The service-graph row: end-to-end replay with churn, green at both
+    # The firewall adversarial stream pins the connection table's three
+    # (namespaced) PCV bounds; the slot allocator contributes none.
+    fw_worst = report["nfs"]["firewall"]["workloads"]["adversarial"]["worst_case"]
+    assert {pcv: check["observed"] for pcv, check in fw_worst.items()} == {
+        "fw_conn.t": 16,
+        "fw_conn.e": 16,
+        "fw_conn.w": 51,
+    }
+    # All eight firewall classes were exercised across its workloads, and
+    # the scan sweep alone drives the at-capacity class.
+    assert set(report["nfs"]["firewall"]["classes_seen"]) == {
+        "short",
+        "non_ip",
+        "denied",
+        "outbound_established",
+        "outbound_new",
+        "conn_full",
+        "inbound_established",
+        "unsolicited",
+    }
+    fw_scan = report["nfs"]["firewall"]["workloads"]["scan_sweep"]
+    assert "conn_full" in fw_scan["classes"]
+    # The monitor row exists, is green, and saw both verdicts.
+    monitor_record = report["nfs"]["monitor"]
+    assert set(monitor_record["classes_seen"]) == {
+        "short",
+        "non_ip",
+        "cold_flow",
+        "hot_flow",
+    }
+    assert "hot_flow" in monitor_record["workloads"]["header_flood"]["classes"]
+    for workload in monitor_record["workloads"].values():
+        assert workload["packets_per_sec"] > 0
+    # The service-graph rows: end-to-end replay with churn, green at both
     # levels, full per-hop class coverage.
-    assert set(report["graphs"]) == {"lb_nat_router"}
+    assert set(report["graphs"]) == {"lb_nat_router", "lb_nat_fw_router"}
     graph_record = report["graphs"]["lb_nat_router"]
     assert graph_record["failures"] == 0
     assert set(graph_record["hop_classes_seen"]) == {"lb", "nat", "router"}
@@ -101,6 +144,21 @@ def test_bench_writes_a_green_report(tmp_path, capsys):
         assert route["violations"] == 0
         for cycles in route["max_cycles"].values():
             assert cycles["measured"] <= cycles["predicted"]
+    # The 4-hop graph adds the firewall hop between NAT and router and
+    # stays green end to end.
+    fw_graph = report["graphs"]["lb_nat_fw_router"]
+    assert fw_graph["failures"] == 0
+    assert set(fw_graph["hop_classes_seen"]) == {"lb", "nat", "fw", "router"}
+    assert set(fw_graph["hop_classes_seen"]["fw"]) == {
+        "outbound_new",
+        "outbound_established",
+    }
+    fw_capture = fw_graph["workloads"]["capture"]
+    assert fw_capture["ok"] is True
+    assert fw_capture["packets_per_sec"] > 0
+    assert any(" > fw:" in route for route in fw_capture["routes"])
+    for route in fw_capture["routes"].values():
+        assert route["violations"] == 0
 
 
 def test_bench_report_envelopes_dominate_measurements(tmp_path):
@@ -186,7 +244,7 @@ def test_bench_graph_filter_writes_a_partial_report(tmp_path):
 
 def test_bench_rejects_unknown_filter_rows(tmp_path, capsys):
     output = tmp_path / "BENCH_eval.json"
-    assert cli.main(["bench", "--output", str(output), "--nf", "firewall"]) == 2
+    assert cli.main(["bench", "--output", str(output), "--nf", "dpi"]) == 2
     assert "unknown bench rows" in capsys.readouterr().out
     assert not output.exists()
 

@@ -6,6 +6,7 @@ round-trips approximately would drift against itself and the gate would
 never be green.
 """
 
+import json
 import random
 from fractions import Fraction
 from pathlib import Path
@@ -40,7 +41,7 @@ GATE_NAMES = [spec.name for spec in cli.NF_MATRIX] + [
 @pytest.mark.parametrize("name", GATE_NAMES)
 def test_round_trip_is_diff_exact_for_every_gated_contract(name, gate_targets):
     """serialize → deserialize → diff against the original is empty, for
-    all four NFs and the composed lb_nat_router graph contract."""
+    all six NFs and both composed graph contracts."""
     contract, _ = gate_targets[name]
     restored = contract_from_json(contract_to_json(contract))
     diff = diff_contracts(contract, restored)
@@ -144,6 +145,29 @@ def test_added_and_removed_classes_are_reported(gate_targets):
     assert dropped in diff.worsened_classes
     reverse = diff_contracts(contract, golden)
     assert reverse.removed == (dropped,)
+
+
+def test_doctored_firewall_golden_turns_the_gate_red(tmp_path, capsys):
+    """The satellite's sabotage check, through the CLI gate itself: doctor
+    the committed firewall golden's ``outbound_new`` constant and the
+    contract-diff command must exit 1 naming the class."""
+    golden_dir = Path(__file__).parent / "golden"
+    sandbox = tmp_path / "golden"
+    sandbox.mkdir()
+    for path in golden_dir.glob("*.json"):
+        (sandbox / path.name).write_text(path.read_text())
+    payload = json.loads((sandbox / "firewall.json").read_text())
+    entry = next(e for e in payload["entries"] if e["class"] == "outbound_new")
+    constant = next(t for t in entry["exprs"]["instructions"] if t[0] == [])
+    constant[1] = str(int(constant[1]) - 5)  # golden promises less: tree worsened
+    (sandbox / "firewall.json").write_text(json.dumps(payload))
+    assert cli.main(["contract-diff", "--golden", str(sandbox), "--nf", "firewall"]) == 1
+    printed = capsys.readouterr().out
+    assert "outbound_new" in printed and "WORSENED" in printed
+    assert "CONTRACT DIFF FAILED" in printed
+    # The untouched goldens in the same sandbox still pass on their own.
+    capsys.readouterr()
+    assert cli.main(["contract-diff", "--golden", str(sandbox), "--nf", "monitor"]) == 0
 
 
 def test_checked_in_goldens_match_the_tree(gate_targets):

@@ -1,7 +1,7 @@
 """Property-based bound checks: "any trace ≤ contract", not just samples.
 
 The per-structure tests in ``test_structures.py`` replay hand-picked
-streams; here seeded random op-sequence generators drive each of the five
+streams; here seeded random op-sequence generators drive each of the six
 structures through 500+ traced operations across several seeds, asserting
 the charged cost of *every* call stays under its hand-contract entry (with
 at least one strictly-cheaper fast path per sequence, so the bound is not
@@ -20,6 +20,7 @@ from repro.nfil import ExecutionTrace, Interpreter
 from repro.structures import (
     NOT_FOUND,
     ChainingHashMap,
+    CountMinSketch,
     ExpiringMap,
     LpmTrie,
     MaglevTable,
@@ -172,6 +173,22 @@ def test_maglev_random_sequences_stay_bounded(seed):
             driver.call("active", backend)
         else:
             driver.call("lookup", rng.randrange(1 << 32))
+    driver.assert_bounded(min_ops=OPS_PER_SEED)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_sketch_random_sequences_stay_bounded(seed):
+    """A small geometry (width 16, ceiling 8) over 32 keys guarantees both
+    fast paths fire: early queries see zero counters, and sustained
+    updates saturate rows — each strictly under the constant formula."""
+    driver = OpDriver(CountMinSketch("cms", depth=4, width=16, counter_max=8))
+    rng = random.Random(seed)
+    for _ in range(OPS_PER_SEED):
+        key = rng.randrange(32)
+        if rng.random() < 0.6:
+            driver.call("update", key)
+        else:
+            driver.call("query", key)
     driver.assert_bounded(min_ops=OPS_PER_SEED)
 
 
