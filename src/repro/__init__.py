@@ -52,4 +52,4 @@ __all__ = [
     "PerformanceContract",
 ]
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"

@@ -15,7 +15,13 @@ The sub-modules mirror the structure of the paper:
 
 from repro.core.pcv import PCV, PCVRegistry, qualify_name, split_name
 from repro.core.perfexpr import PerfExpr
-from repro.core.contract import ContractEntry, PerformanceContract, Metric, upper_envelope
+from repro.core.contract import (
+    ContractEntry,
+    Metric,
+    PerformanceContract,
+    TAIL_METRICS,
+    upper_envelope,
+)
 from repro.core.input_class import InputClass
 from repro.core.bolt import Bolt, BoltConfig
 from repro.core.composition import (
@@ -48,6 +54,7 @@ __all__ = [
     "PCVRegistry",
     "PerfExpr",
     "PerformanceContract",
+    "TAIL_METRICS",
     "compose_contracts",
     "compose_graph_contracts",
     "contract_from_json",

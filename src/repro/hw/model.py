@@ -15,6 +15,14 @@ provides the two models the reproduction's evaluation loop uses:
   locals) hit the L1, and each stateful structure gets a per-structure
   cache-hit assumption that blends L1 and DRAM latency (a hash chain walk
   has worse locality than an LPM trie's hot top levels).
+* :class:`SimulatedModel` — the cache-simulator model: no hit-rate
+  assumptions at all.  It replays the tracer's per-packet address stream
+  through a set-associative L1/LLC hierarchy
+  (:mod:`repro.hw.cachesim`) and prices every access at the latency of
+  the level that actually served it, so hit rates are *observed* per
+  packet.  Its prediction side still prices every access at DRAM, which
+  keeps measured ≤ predicted sound and gives per-packet headroom — the
+  raw material of the p50/p95/p99 tail columns.
 
 Both models expose the same three-sided API:
 
@@ -49,6 +57,13 @@ from typing import Callable, Dict, Mapping, Optional, Sequence, Union
 
 from repro.core.contract import ContractEntry, Metric, PerformanceContract
 from repro.core.perfexpr import Monomial, Number, PerfExpr
+from repro.hw.cachesim import (
+    DEFAULT_L1_GEOMETRY,
+    DEFAULT_LLC_GEOMETRY,
+    CacheGeometry,
+    CacheHierarchy,
+    geometry_to_json,
+)
 from repro.nfil.tracer import ExecutionTrace
 from repro.structures.base import Structure
 
@@ -58,6 +73,7 @@ __all__ = [
     "DEFAULT_HIT_RATES",
     "HwSpec",
     "RealisticModel",
+    "SimulatedModel",
     "model_to_json",
     "spec_to_json",
 ]
@@ -76,25 +92,31 @@ class HwSpec:
     """The latency parameters of the modelled machine.
 
     Defaults approximate a commodity server core: a 2-wide sustainable
-    issue width, a 4-cycle L1 hit and a 100-cycle DRAM round trip.
+    issue width, a 4-cycle L1 hit, a 30-cycle LLC hit and a 100-cycle
+    DRAM round trip.
 
     Attributes:
         name: human-readable machine name (lands in bench reports).
         issue_width: instructions the realistic model retires per cycle.
-        l1_latency: cycles per cache-hit memory access.
+        l1_latency: cycles per L1-hit memory access.
         dram_latency: cycles per full-miss memory access.
+        llc_latency: cycles per access served by the last-level cache
+            (only the simulated model distinguishes this level).
     """
 
     name: str = "commodity-x86"
     issue_width: int = 2
     l1_latency: int = 4
     dram_latency: int = 100
+    llc_latency: int = 30
 
     def __post_init__(self) -> None:
         if self.issue_width < 1:
             raise ValueError("issue_width must be at least 1")
-        if not 0 < self.l1_latency <= self.dram_latency:
-            raise ValueError("latencies must satisfy 0 < l1_latency <= dram_latency")
+        if not 0 < self.l1_latency <= self.llc_latency <= self.dram_latency:
+            raise ValueError(
+                "latencies must satisfy 0 < l1_latency <= llc_latency <= dram_latency"
+            )
 
 
 #: Default cache-hit assumptions per structure *kind*, used by the
@@ -128,6 +150,11 @@ class CycleModel:
 
     #: Short model name used in bench reports and derived contract names.
     name: str = "cycle_model"
+
+    #: True when :meth:`measure` needs the tracer's per-access address
+    #: stream (``ExecutionTrace.accesses``), not just the counts.  The
+    #: replayer enables address recording iff any active model sets this.
+    requires_access_stream: bool = False
 
     def __init__(self, spec: Optional[HwSpec] = None) -> None:
         self.spec = spec if spec is not None else HwSpec()
@@ -338,8 +365,11 @@ class RealisticModel(CycleModel):
     Instructions amortise over the issue width; stateless accesses (packet
     buffer, locals) hit the L1; an access inside structure *s* pays the
     blend ``hit(s)·l1 + (1 − hit(s))·dram``.  Hit rates resolve per
-    instance name first, then per structure kind, then fall back to 0
-    (all-miss) — unknown structures are never given locality for free.
+    instance name first, then per structure kind; a structure of a kind
+    with no declared rate is a hard error (``KeyError``) — silently
+    pricing a new structure as all-DRAM hid real modelling gaps, and the
+    fix is one line: declare a rate, or use :class:`SimulatedModel`,
+    which observes locality instead of assuming it.
 
     Args:
         spec: machine parameters (defaults to :class:`HwSpec`).
@@ -365,12 +395,26 @@ class RealisticModel(CycleModel):
         self.hit_rates = rates
 
     def hit_rate(self, structure: Optional[Structure]) -> Fraction:
-        """Resolve the cache-hit assumption for one structure."""
+        """Resolve the cache-hit assumption for one structure.
+
+        ``None`` (unknown producer) is priced all-miss, but a *known*
+        structure whose kind has no declared rate raises ``KeyError``:
+        new structures must declare their locality (or the bench must
+        run them under the simulator) rather than be silently priced as
+        all-DRAM with no signal that the model is incomplete.
+        """
         if structure is None:
             return Fraction(0)
         if structure.name in self.hit_rates:
             return self.hit_rates[structure.name]
-        return self.hit_rates.get(structure.kind, Fraction(0))
+        if structure.kind in self.hit_rates:
+            return self.hit_rates[structure.kind]
+        raise KeyError(
+            f"no cache-hit rate declared for structure {structure.name!r} of kind "
+            f"{structure.kind!r}: pass hit_rates={{{structure.kind!r}: ...}} to "
+            "RealisticModel, or price it under SimulatedModel, which observes "
+            "hit rates instead of assuming them"
+        )
 
     def instruction_cycles(self) -> Fraction:
         return Fraction(1, self.spec.issue_width)
@@ -383,12 +427,131 @@ class RealisticModel(CycleModel):
         return rate * self.spec.l1_latency + (1 - rate) * self.spec.dram_latency
 
 
+class SimulatedModel(CycleModel):
+    """Cache-simulator pricing: hit rates observed, never assumed.
+
+    The measurement side replays the trace's recorded address stream
+    through a set-associative L1/LLC :class:`~repro.hw.cachesim.CacheHierarchy`
+    and prices each access at the latency of the level that served it
+    (l1 / llc / dram).  The hierarchy is **stateful across packets** —
+    that warm/cold history is precisely what turns a replay into a
+    per-packet latency *distribution* rather than one blended number.
+
+    The prediction side prices every memory access at DRAM and
+    instructions at ``1/issue_width``: since every simulated access costs
+    at most ``dram_latency``, measured ≤ predicted holds packet by packet
+    whatever the cache does, and therefore at every percentile (sorted
+    dominance).  Accesses the trace counted but did not record addresses
+    for (address recording off, or an extern that reports counts only)
+    are priced at DRAM — the shortfall can only overprice the
+    measurement, never unsound-underprice it.
+
+    Args:
+        spec: machine parameters (defaults to :class:`HwSpec`).
+        l1: L1 geometry (defaults to
+            :data:`~repro.hw.cachesim.DEFAULT_L1_GEOMETRY`).
+        llc: LLC geometry (defaults to
+            :data:`~repro.hw.cachesim.DEFAULT_LLC_GEOMETRY`).
+    """
+
+    name = "simulated"
+    requires_access_stream = True
+
+    def __init__(
+        self,
+        spec: Optional[HwSpec] = None,
+        *,
+        l1: CacheGeometry = DEFAULT_L1_GEOMETRY,
+        llc: CacheGeometry = DEFAULT_LLC_GEOMETRY,
+    ) -> None:
+        super().__init__(spec)
+        self.hierarchy = CacheHierarchy(l1, llc)
+
+    def reset(self) -> None:
+        """Cold-start the cache hierarchy (fresh replay, fresh machine)."""
+        self.hierarchy.reset()
+
+    def instruction_cycles(self) -> Fraction:
+        return Fraction(1, self.spec.issue_width)
+
+    def stateless_access_cycles(self) -> Fraction:
+        # Prediction-side price only: the measurement side prices each
+        # access at its simulated level, which never exceeds this.
+        return Fraction(self.spec.dram_latency)
+
+    def structure_access_cycles(self, structure: Optional[Structure]) -> Fraction:
+        return Fraction(self.spec.dram_latency)
+
+    def _level_prices(self) -> Dict[str, Fraction]:
+        return {
+            "l1": Fraction(self.spec.l1_latency),
+            "llc": Fraction(self.spec.llc_latency),
+            "dram": Fraction(self.spec.dram_latency),
+        }
+
+    def measure(
+        self, trace: ExecutionTrace, *, structures: Sequence[Structure] = ()
+    ) -> Fraction:
+        """Price one traced execution by simulating its address stream.
+
+        Mutates the hierarchy: replaying the same trace twice gives the
+        second run the first run's warm caches.  Call :meth:`reset` for
+        a cold machine.
+        """
+        prices = self._level_prices()
+        access = self.hierarchy.access
+        cycles = Fraction(trace.total_instructions()) * self.instruction_cycles()
+        for mem in trace.accesses:
+            cycles += prices[access(mem.addr)]
+        counted = trace.memory_accesses + sum(
+            call.memory_accesses for call in trace.extern_calls
+        )
+        shortfall = counted - len(trace.accesses)
+        if shortfall > 0:
+            cycles += Fraction(shortfall * self.spec.dram_latency)
+        return cycles
+
+    def compile_measure(
+        self, structures: Sequence[Structure] = (), *, scale: int = 1
+    ) -> Callable[[ExecutionTrace], int]:
+        """Integer-arithmetic :meth:`measure` (same statefulness caveat)."""
+
+        def price(value: Fraction) -> int:
+            scaled = value * scale
+            if scaled.denominator != 1:
+                raise ValueError(
+                    f"scale {scale} does not clear price {value} (need a "
+                    f"multiple of {self.price_denominator(structures)})"
+                )
+            return scaled.numerator
+
+        instruction = price(self.instruction_cycles())
+        levels = {name: price(value) for name, value in self._level_prices().items()}
+        dram = levels["dram"]
+        hierarchy_access = self.hierarchy.access
+
+        def measure(trace: ExecutionTrace, _levels=levels) -> int:
+            cycles = trace.total_instructions() * instruction
+            counted = trace.memory_accesses
+            for mem in trace.accesses:
+                cycles += _levels[hierarchy_access(mem.addr)]
+            for call in trace.extern_calls:
+                counted += call.memory_accesses
+            shortfall = counted - len(trace.accesses)
+            if shortfall > 0:
+                cycles += shortfall * dram
+            return cycles
+
+        return measure
+
+
 def spec_to_json(spec: HwSpec) -> Dict[str, object]:
     """Serialise a spec for bench reports."""
     return {
         "name": spec.name,
         "issue_width": spec.issue_width,
         "l1_latency": spec.l1_latency,
+        "llc_latency": spec.llc_latency,
         "dram_latency": spec.dram_latency,
     }
 
@@ -403,4 +566,9 @@ def model_to_json(model: CycleModel) -> Dict[str, object]:
     }
     if isinstance(model, RealisticModel):
         payload["hit_rates"] = {k: str(v) for k, v in sorted(model.hit_rates.items())}
+    if isinstance(model, SimulatedModel):
+        payload["caches"] = {
+            "l1": geometry_to_json(model.hierarchy.l1.geometry),
+            "llc": geometry_to_json(model.hierarchy.llc.geometry),
+        }
     return payload

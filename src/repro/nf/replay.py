@@ -118,6 +118,11 @@ class NFHarness:
         #: Egress packet bytes of the last :meth:`run` (post NF rewrites);
         #: only populated when ``capture_output`` is on.
         self.last_packet: bytes = b""
+        #: Whether :meth:`run` materialises the per-access address stream
+        #: (``ExecutionTrace.accesses``).  Off by default — counts are all
+        #: plain replay needs — and switched on by the replayer when a
+        #: cache-simulating hardware model is in the model set.
+        self.record_accesses: bool = False
         self._interpreter = Interpreter(module, handler=handler)
         self._scalar_memo: Optional[Tuple[Stimulus, Dict[str, int]]] = None
 
@@ -146,9 +151,9 @@ class NFHarness:
         memory = Memory()
         memory.write_bytes(self.pkt_base, stimulus.packet)
         args = [self.pkt_base] + [scalars[name] for name in self.scalar_order]
-        # Replay only consumes aggregate counts, never the per-access
-        # address stream, so skip materialising MemAccess objects.
-        trace = ExecutionTrace(record_accesses=False)
+        # Plain replay only consumes aggregate counts; the address stream
+        # is materialised only when a cache simulator will consume it.
+        trace = ExecutionTrace(record_accesses=self.record_accesses)
         result = self._interpreter.run(self.function, args, memory=memory, trace=trace)
         if self.capture_output:
             self.last_packet = memory.read_bytes(self.pkt_base, len(stimulus.packet))

@@ -135,12 +135,19 @@ class Memory:
 
 @dataclass(frozen=True)
 class ExternResult:
-    """What an extern handler returns for one call."""
+    """What an extern handler returns for one call.
+
+    ``accesses`` optionally carries the concrete addresses the structure
+    touched while serving the call (one per counted memory access, in
+    touch order) so cache-simulating hardware models can observe the
+    structure's locality; an empty tuple means counts only.
+    """
 
     value: Optional[int] = None
     instructions: int = 0
     memory_accesses: int = 0
     pcvs: Mapping[str, int] = field(default_factory=dict)
+    accesses: Tuple[int, ...] = ()
 
 
 #: Handlers may return a plain int (the value), None (void) or ExternResult.
@@ -369,6 +376,7 @@ class Interpreter:
                 instructions=result.instructions,
                 memory_accesses=result.memory_accesses,
                 pcvs=result.pcvs,
+                accesses=result.accesses,
             )
             if instruction.dest is not None:
                 if result.value is None:

@@ -107,8 +107,17 @@ class ExecutionTrace:
         instructions: int = 0,
         memory_accesses: int = 0,
         pcvs: Mapping[str, int] | None = None,
+        accesses: Tuple[int, ...] = (),
     ) -> ExternCall:
-        """Record one extern call and its instrumented cost."""
+        """Record one extern call and its instrumented cost.
+
+        When address recording is on, the structure's touched addresses
+        (``accesses``) join :attr:`accesses` in execution order alongside
+        the stateless stream, so a cache simulator replays the packet's
+        full interleaved address trace.  Structure accesses are modelled
+        as 8-byte loads — line granularity is what the simulator keys on,
+        so load/store and operand width do not affect pricing.
+        """
         call = ExternCall(
             index=len(self.extern_calls),
             name=name,
@@ -119,6 +128,9 @@ class ExecutionTrace:
             pcvs=dict(pcvs or {}),
         )
         self.extern_calls.append(call)
+        if self._record_accesses:
+            for addr in accesses:
+                self.accesses.append(MemAccess(addr, 8, "load", name))
         return call
 
     # ------------------------------------------------------------------ #

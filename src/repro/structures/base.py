@@ -43,6 +43,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 import re
+import zlib
 
 from repro.core.contract import ContractEntry, Metric, PerformanceContract
 from repro.core.input_class import InputClass
@@ -133,6 +134,13 @@ class Structure(ExternHandler):
                 f"(allowed characters: {NAME_CHARSET})"
             )
         self.name = name
+        # A deterministic per-instance heap region for the simulated cache
+        # model: derived purely from the instance name (no global counter,
+        # no allocation order), so recorded address streams — and therefore
+        # the bench's tail percentiles — are bit-identical across workers
+        # and runs.  256 KiB-aligned regions spread instances across cache
+        # sets; a rare name-hash collision merely shares lines.
+        self.heap_base = 0x1000_0000 + (zlib.crc32(name.encode("utf-8")) & 0x3FFF) * 0x4_0000
         # Snapshot the op table once: op() sits on the hot concrete replay
         # path (every charge() resolves its spec).
         self._ops_by_method: Dict[str, OpSpec] = {op.method: op for op in self.ops()}
@@ -182,6 +190,18 @@ class Structure(ExternHandler):
     def extern_name(self, method: str) -> str:
         """Return the extern symbol of one method of this instance."""
         return f"{self.name}_{method}"
+
+    def slot_addr(self, slot: int) -> int:
+        """Model address of logical 8-byte slot ``slot`` in this instance's heap.
+
+        Handlers use this to report *which* addresses an operation touched
+        (``charge(..., touched=[...])``): slots that model the same storage
+        (a bucket head, a trie node, a counter cell) map to the same
+        address every call, which is what gives the cache simulator real
+        re-use to observe.  The layout is a model, not an allocator — only
+        identity and adjacency of slots matter, not their absolute values.
+        """
+        return self.heap_base + 8 * slot
 
     def pcv_name(self, symbol: str) -> str:
         """Return the instance-qualified name of a local PCV symbol."""
@@ -252,6 +272,7 @@ class Structure(ExternHandler):
         value: Optional[int] = None,
         *,
         discount_instructions: int = 0,
+        touched: Sequence[int] = (),
         **pcvs: int,
     ) -> ExternResult:
         """Build the :class:`ExternResult` of one concrete call.
@@ -263,17 +284,30 @@ class Structure(ExternHandler):
         ``discount_instructions`` lets a fast path report fewer instructions
         than the worst-case formula (never more), keeping the hand contract
         a genuine upper bound rather than a tautology.
+
+        ``touched`` optionally names the addresses the call accessed (in
+        touch order, usually built with :meth:`slot_addr`) for the cache
+        simulator.  The reported tuple is normalised to exactly the
+        formula's access count: extra entries are dropped, and the
+        remainder is padded with :attr:`heap_base` (the instance's header
+        word — a realistic stand-in for the bookkeeping accesses the cost
+        formula charges but the handler does not enumerate).
         """
         op = self.op(method)
         bindings = {name: pcvs.get(name, 0) for name in op.pcvs}
         instructions = op.cost[Metric.INSTRUCTIONS].evaluate_int(bindings)
         if discount_instructions < 0 or discount_instructions >= instructions:
             raise ValueError(f"bad instruction discount {discount_instructions}")
+        memory_accesses = op.cost[Metric.MEMORY_ACCESSES].evaluate_int(bindings)
+        accesses = tuple(touched[:memory_accesses])
+        if len(accesses) < memory_accesses:
+            accesses += (self.heap_base,) * (memory_accesses - len(accesses))
         return ExternResult(
             value,
             instructions=instructions - discount_instructions,
-            memory_accesses=op.cost[Metric.MEMORY_ACCESSES].evaluate_int(bindings),
+            memory_accesses=memory_accesses,
             pcvs={self.pcv_name(name): observed for name, observed in bindings.items()},
+            accesses=accesses,
         )
 
 

@@ -170,26 +170,52 @@ class ChainingHashMap(Structure):
                 return True, traversed
         return False, len(chain)
 
+    def chain_touched(self, key: int, traversed: int) -> List[int]:
+        """Addresses one operation touched: bucket head, then chain links.
+
+        Link *i* of bucket *b* lives at a stable pair of slots (key word,
+        value word) in the instance's heap region, so re-walking a hot
+        bucket re-touches the same cache lines — the locality the cache
+        simulator is there to observe.  (Positions are stable per (bucket,
+        index), a faithful model of a chain that only ever appends and
+        compacts.)
+        """
+        bucket = self._hash(key)
+        base = self.buckets + 2 * bucket * self.capacity
+        touched = [self.slot_addr(bucket)]
+        for i in range(traversed):
+            touched.append(self.slot_addr(base + 2 * i))
+            touched.append(self.slot_addr(base + 2 * i + 1))
+        return touched
+
     # ------------------------------------------------------------------ #
     # Instrumented extern handlers
     # ------------------------------------------------------------------ #
     def _op_get(self, args: Tuple[int, ...], memory: Memory) -> ExternResult:
         (key,) = args
         value, traversed = self.lookup(key)
+        touched = self.chain_touched(key, traversed)
         if value is None:
             # Miss fast path: no value copy.
-            return self.charge("get", NOT_FOUND, t=traversed, discount_instructions=1)
-        return self.charge("get", value, t=traversed)
+            return self.charge(
+                "get", NOT_FOUND, t=traversed, discount_instructions=1, touched=touched
+            )
+        return self.charge("get", value, t=traversed, touched=touched)
 
     def _op_put(self, args: Tuple[int, ...], memory: Memory) -> ExternResult:
         key, value = args
         status, traversed = self.insert(key, value)
+        touched = self.chain_touched(key, traversed)
         if status == "refreshed":
             # Refresh fast path: no link allocation.
-            return self.charge("put", t=traversed, discount_instructions=1)
-        return self.charge("put", t=traversed)
+            return self.charge(
+                "put", t=traversed, discount_instructions=1, touched=touched
+            )
+        return self.charge("put", t=traversed, touched=touched)
 
     def _op_remove(self, args: Tuple[int, ...], memory: Memory) -> ExternResult:
         (key,) = args
         _, traversed = self.delete(key)
-        return self.charge("remove", t=traversed)
+        return self.charge(
+            "remove", t=traversed, touched=self.chain_touched(key, traversed)
+        )

@@ -155,10 +155,32 @@ class LpmTrie(Structure):
                 best = node.value
         return best, visited
 
+    def _path_touched(self, address: int, visited: int) -> list:
+        """Addresses of the visited trie path, two words per node.
+
+        A node is identified by (level, prefix bits so far), so every
+        lookup re-touches the root and the shared top levels — the "hot
+        top of the trie" locality the realistic model could only assume.
+        Prefixes alias into 512 slots per level to keep the model heap
+        inside the instance's region; aliasing is deterministic, so the
+        stream stays reproducible.
+        """
+        touched = []
+        for level in range(visited):
+            prefix = address >> (ADDRESS_BITS - level) if level else 0
+            slot = level * 512 + (prefix & 511)
+            touched.append(self.slot_addr(2 * slot))
+            touched.append(self.slot_addr(2 * slot + 1))
+        return touched
+
     def _op_lookup(self, args: Tuple[int, ...], memory: Memory) -> ExternResult:
         (address,) = args
-        value, visited = self.lookup(address & ((1 << ADDRESS_BITS) - 1))
+        address &= (1 << ADDRESS_BITS) - 1
+        value, visited = self.lookup(address)
+        touched = self._path_touched(address, visited)
         if value is None:
             # Miss fast path: no next-hop copy.
-            return self.charge("lookup", NOT_FOUND, d=visited, discount_instructions=1)
-        return self.charge("lookup", value, d=visited)
+            return self.charge(
+                "lookup", NOT_FOUND, d=visited, discount_instructions=1, touched=touched
+            )
+        return self.charge("lookup", value, d=visited, touched=touched)

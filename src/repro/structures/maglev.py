@@ -293,30 +293,50 @@ class MaglevTable(Structure):
     # ------------------------------------------------------------------ #
     # Instrumented extern handlers
     # ------------------------------------------------------------------ #
+    def _fill_touched(self, probes: int) -> list:
+        """Table slots a repopulation pass wrote, modelled as a sweep.
+
+        The real fill probes permutation order; a sequential sweep over
+        the same number of slots has the same footprint and set pressure,
+        which is what the cache simulator prices.
+        """
+        return [self.slot_addr(i % self.table_size) for i in range(probes)]
+
     def _op_lookup(self, args: Tuple[int, ...], memory: Memory) -> ExternResult:
         (flow,) = args
         backend = self.select(flow)
+        slot = ((flow * 2654435761) ^ (flow >> 29)) % self.table_size
+        touched = [self.slot_addr(slot)]
         if backend is None:
             # Empty-table fast path: no backend id copy.
-            return self.charge("lookup", NOT_FOUND, discount_instructions=1)
-        return self.charge("lookup", backend)
+            return self.charge(
+                "lookup", NOT_FOUND, discount_instructions=1, touched=touched
+            )
+        return self.charge("lookup", backend, touched=touched)
 
     def _op_active(self, args: Tuple[int, ...], memory: Memory) -> ExternResult:
         (backend,) = args
-        return self.charge("active", 1 if self.is_active(backend % BACKEND_SPACE) else 0)
+        backend %= BACKEND_SPACE
+        # Membership word: one slot per backend id, after the lookup array.
+        touched = [self.slot_addr(self.table_size + backend % self.max_backends)]
+        return self.charge("active", 1 if self.is_active(backend) else 0, touched=touched)
 
     def _op_add(self, args: Tuple[int, ...], memory: Memory) -> ExternResult:
         (backend,) = args
         status, probes = self.add_backend(backend % BACKEND_SPACE)
         if status != "added":
             # Present/dropped fast path: no repopulation ran.
-            return self.charge("add", f=0, discount_instructions=1)
-        return self.charge("add", f=probes)
+            return self.charge(
+                "add", f=0, discount_instructions=1, touched=[self.slot_addr(0)]
+            )
+        return self.charge("add", f=probes, touched=self._fill_touched(probes))
 
     def _op_remove(self, args: Tuple[int, ...], memory: Memory) -> ExternResult:
         (backend,) = args
         removed, probes = self.remove_backend(backend % BACKEND_SPACE)
         if not removed:
             # Unknown-backend fast path: no repopulation ran.
-            return self.charge("remove", f=0, discount_instructions=1)
-        return self.charge("remove", f=probes)
+            return self.charge(
+                "remove", f=0, discount_instructions=1, touched=[self.slot_addr(0)]
+            )
+        return self.charge("remove", f=probes, touched=self._fill_touched(probes))

@@ -143,13 +143,27 @@ class PortAllocator(Structure):
     def _op_alloc(self, args: Tuple[int, ...], memory: Memory) -> ExternResult:
         port = self.take()
         if port == NOT_FOUND:
-            # Exhausted fast path: no free-list pop.
-            return self.charge("alloc", NOT_FOUND, discount_instructions=1)
-        return self.charge("alloc", port)
+            # Exhausted fast path: no free-list pop (only the header read).
+            return self.charge(
+                "alloc", NOT_FOUND, discount_instructions=1, touched=[self.slot_addr(0)]
+            )
+        # Free-list tail word, then the leased-set slot of the port.
+        touched = [self.slot_addr(1 + len(self._free)), self.slot_addr(self._lease_slot(port))]
+        return self.charge("alloc", port, touched=touched)
+
+    def _lease_slot(self, port: int) -> int:
+        # Leased-set membership word: one slot per pool port, after the
+        # header word and the free-list array.
+        return 2 + len(self.pool) + port % len(self.pool)
 
     def _op_release(self, args: Tuple[int, ...], memory: Memory) -> ExternResult:
         (port,) = args
         if not self.give_back(port):
             # Unknown-port fast path: nothing returned to the list.
-            return self.charge("release", discount_instructions=1)
-        return self.charge("release")
+            return self.charge(
+                "release",
+                discount_instructions=1,
+                touched=[self.slot_addr(self._lease_slot(port))],
+            )
+        touched = [self.slot_addr(self._lease_slot(port)), self.slot_addr(len(self._free))]
+        return self.charge("release", touched=touched)

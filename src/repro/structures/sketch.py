@@ -169,17 +169,30 @@ class CountMinSketch(Structure):
     # ------------------------------------------------------------------ #
     # Instrumented extern handlers
     # ------------------------------------------------------------------ #
+    def _counter_touched(self, key: int) -> list:
+        """The key's counter cell in each row (the data-independent walk)."""
+        return [
+            self.slot_addr(row * self.width + self._index(row, key))
+            for row in range(self.depth)
+        ]
+
     def _op_update(self, args: Tuple[int, ...], memory: Memory) -> ExternResult:
         (key,) = args
+        touched = self._counter_touched(key)
+        # The update stores each counter back: same cells, touched twice.
+        touched = [addr for addr in touched for _ in range(2)]
         if self.saturated(key):
             # Fully-saturated fast path: the increment short-circuits.
-            return self.charge("update", self.counter_max, discount_instructions=1)
-        return self.charge("update", self.observe(key))
+            return self.charge(
+                "update", self.counter_max, discount_instructions=1, touched=touched
+            )
+        return self.charge("update", self.observe(key), touched=touched)
 
     def _op_query(self, args: Tuple[int, ...], memory: Memory) -> ExternResult:
         (key,) = args
+        touched = self._counter_touched(key)
         estimate = self.estimate(key)
         if estimate == 0:
             # Never-seen fast path: a zero counter ends the min-fold early.
-            return self.charge("query", 0, discount_instructions=1)
-        return self.charge("query", estimate)
+            return self.charge("query", 0, discount_instructions=1, touched=touched)
+        return self.charge("query", estimate, touched=touched)

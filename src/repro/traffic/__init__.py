@@ -43,6 +43,8 @@ from repro.traffic.replayer import (
     PacketOutcome,
     Replayer,
     ReplayResult,
+    TAIL_PERCENTILES,
+    tail_envelopes,
 )
 
 __all__ = [
@@ -60,6 +62,7 @@ __all__ = [
     "ReplayResult",
     "Replayer",
     "Stimulus",
+    "TAIL_PERCENTILES",
     "capture_stimuli",
     "capture_ticks",
     "ethernet_frame",
@@ -69,6 +72,7 @@ __all__ = [
     "nat_frame",
     "read_pcap",
     "sample_capture",
+    "tail_envelopes",
     "uniform_indices",
     "write_pcap",
     "zipf_indices",

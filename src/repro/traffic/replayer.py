@@ -44,7 +44,45 @@ from repro.structures.base import Structure
 from repro.sym.expr import compile_conjunction
 from repro.traffic.generators import Stimulus
 
-__all__ = ["ClassSummary", "NFTarget", "PacketOutcome", "Replayer", "ReplayResult"]
+__all__ = [
+    "ClassSummary",
+    "NFTarget",
+    "PacketOutcome",
+    "Replayer",
+    "ReplayResult",
+    "TAIL_PERCENTILES",
+    "tail_envelopes",
+]
+
+#: The percentiles the tail-latency contract columns cover.
+TAIL_PERCENTILES = (50, 95, 99)
+
+
+def _nearest_rank(ordered: Sequence[int], percentile: int) -> int:
+    """Nearest-rank percentile of an ascending-sorted, non-empty sample set.
+
+    ``index = ceil(percentile·n/100) − 1`` — exact integer arithmetic, no
+    interpolation, so percentile values are always members of the sample
+    population and stay exact in the scaled-integer domain.
+    """
+    return ordered[-(-percentile * len(ordered) // 100) - 1]
+
+
+def tail_envelopes(predicted_samples: Sequence[int]) -> Dict[int, int]:
+    """Predicted tail envelope per percentile, in scaled cycles.
+
+    The envelope at percentile *q* is the nearest-rank *q*-percentile of
+    the **predicted** per-packet cycle population of the class.  Sound by
+    sorted dominance: the replay already asserts measured ≤ predicted
+    per packet, and ``a_i ≤ b_i`` pointwise implies ``sorted(a)_k ≤
+    sorted(b)_k`` at every rank — so each measured percentile is bounded
+    by the same percentile of the predictions, a far tighter statement
+    than the single worst-case envelope.  (Module-level and resolved at
+    call time, so tests can swap in a doctored envelope to prove the
+    bench actually checks it.)
+    """
+    ordered = sorted(predicted_samples)
+    return {p: _nearest_rank(ordered, p) for p in TAIL_PERCENTILES}
 
 
 class NFTarget(Protocol):
@@ -78,6 +116,9 @@ class PacketOutcome:
     #: model name -> (measured cycles, predicted cycles)
     cycles: Mapping[str, Tuple[Fraction, Fraction]]
     violations: Tuple[str, ...]
+    #: model name -> (measured, predicted) in scaled-integer cycles — the
+    #: exact per-packet samples the tail percentiles aggregate over.
+    cycles_scaled: Mapping[str, Tuple[int, int]] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -94,6 +135,15 @@ class ClassSummary:
     max_predicted: Dict[Metric, int] = field(default_factory=dict)
     max_cycles: Dict[str, Tuple[Fraction, Fraction]] = field(default_factory=dict)
     violations: int = 0
+    #: model name -> measured per-packet cycle samples (scaled integers).
+    cycle_samples: Dict[str, List[int]] = field(default_factory=dict)
+    #: model name -> predicted per-packet cycle samples (scaled integers).
+    predicted_samples: Dict[str, List[int]] = field(default_factory=dict)
+    #: model name -> {percentile: measured value} (scaled), filled by
+    #: :meth:`compute_tails` once the class population is complete.
+    cycle_tails: Dict[str, Dict[int, int]] = field(default_factory=dict)
+    #: model name -> {percentile: predicted envelope} (scaled).
+    cycle_tail_envelopes: Dict[str, Dict[int, int]] = field(default_factory=dict)
 
     def absorb(self, outcome: PacketOutcome) -> None:
         self.packets += 1
@@ -106,6 +156,25 @@ class ClassSummary:
         for model, (measured, predicted) in outcome.cycles.items():
             prev = self.max_cycles.get(model, (Fraction(0), Fraction(0)))
             self.max_cycles[model] = (max(prev[0], measured), max(prev[1], predicted))
+        for model, (measured, predicted) in outcome.cycles_scaled.items():
+            self.cycle_samples.setdefault(model, []).append(measured)
+            self.predicted_samples.setdefault(model, []).append(predicted)
+
+    def compute_tails(self) -> None:
+        """Aggregate the per-packet samples into measured tails + envelopes.
+
+        Percentiles are nearest-rank over the class's complete observed
+        packet population; envelopes come from :func:`tail_envelopes`
+        (resolved at call time so tests can doctor it).
+        """
+        for model, samples in self.cycle_samples.items():
+            ordered = sorted(samples)
+            self.cycle_tails[model] = {
+                p: _nearest_rank(ordered, p) for p in TAIL_PERCENTILES
+            }
+            self.cycle_tail_envelopes[model] = tail_envelopes(
+                self.predicted_samples.get(model, ())
+            )
 
 
 @dataclass
@@ -120,6 +189,11 @@ class ReplayResult:
     max_pcvs: Dict[str, int]
     #: Worst-case cycle envelopes per model (PCV bounds, all entries).
     envelopes: Dict[str, Fraction]
+    #: The scaled-integer denominator of every ``*_scaled`` cycle value.
+    cycle_scale: int = 1
+    #: Distribution-level failures: a measured tail percentile escaping
+    #: its predicted envelope (per class, per model, per percentile).
+    tail_violations: List[str] = field(default_factory=list)
 
     @property
     def packets(self) -> int:
@@ -127,7 +201,8 @@ class ReplayResult:
 
     @property
     def violations(self) -> List[str]:
-        return [message for outcome in self.outcomes for message in outcome.violations]
+        per_packet = [m for outcome in self.outcomes for m in outcome.violations]
+        return per_packet + list(self.tail_violations)
 
     @property
     def ok(self) -> bool:
@@ -139,8 +214,11 @@ class ReplayResult:
     def table(self) -> str:
         """Render the per-class measured-vs-predicted summary table."""
         models = sorted({model for s in self.summaries.values() for model in s.max_cycles})
+        tailed = sorted({model for s in self.summaries.values() for model in s.cycle_tails})
         headers = ["input class", "packets", "instr max meas≤pred", "mem max meas≤pred"]
         headers += [f"{model} cycles" for model in models]
+        headers += [f"{model} p99 meas≤env" for model in tailed]
+        scale = self.cycle_scale
         rows: List[List[str]] = []
         for name in sorted(self.summaries):
             summary = self.summaries[name]
@@ -153,6 +231,15 @@ class ReplayResult:
             for model in models:
                 measured, predicted = summary.max_cycles.get(model, (Fraction(0), Fraction(0)))
                 row.append(f"{float(measured):.0f} ≤ {float(predicted):.0f}")
+            for model in tailed:
+                tails = summary.cycle_tails.get(model)
+                envelope = summary.cycle_tail_envelopes.get(model, {})
+                if not tails:
+                    row.append("-")
+                    continue
+                row.append(
+                    f"{tails[99] / scale:.0f} ≤ {envelope.get(99, 0) / scale:.0f}"
+                )
             rows.append(row)
         title = f"{self.nf_name} / {self.workload}: {self.packets} packets, "
         title += "no violations" if self.ok else f"{len(self.violations)} VIOLATIONS"
@@ -161,8 +248,9 @@ class ReplayResult:
     def to_json(self) -> Dict[str, object]:
         """Serialise for the ``BENCH_*.json`` report."""
         classes: Dict[str, object] = {}
+        scale = self.cycle_scale
         for name, summary in self.summaries.items():
-            classes[name] = {
+            record: Dict[str, object] = {
                 "packets": summary.packets,
                 "violations": summary.violations,
                 "max_measured": {str(m): v for m, v in summary.max_measured.items()},
@@ -172,6 +260,19 @@ class ReplayResult:
                     for model, (meas, pred) in summary.max_cycles.items()
                 },
             }
+            if summary.cycle_tails:
+                record["cycle_tails"] = {
+                    model: {
+                        **{f"p{p}": tails[p] / scale for p in TAIL_PERCENTILES},
+                        "max": float(summary.max_cycles[model][0]),
+                    }
+                    for model, tails in summary.cycle_tails.items()
+                }
+                record["cycle_tail_envelopes"] = {
+                    model: {f"p{p}": envelope[p] / scale for p in TAIL_PERCENTILES}
+                    for model, envelope in summary.cycle_tail_envelopes.items()
+                }
+            classes[name] = record
         return {
             "packets": self.packets,
             "ok": self.ok,
@@ -202,6 +303,12 @@ class Replayer:
         self.harness = harness
         self.contract = contract
         self.models = tuple(models)
+        # A cache-simulating model prices the per-access address stream;
+        # switch the harness's (off-by-default) recording on for it.
+        if any(model.requires_access_stream for model in self.models) and hasattr(
+            harness, "record_accesses"
+        ):
+            harness.record_accesses = True
         # Entries charge PCVs their path never observed at zero.
         self._zero_pcvs = {name: 0 for name in contract.variables()}
         # Harness, contract and models are fixed here, so derive each
@@ -296,6 +403,7 @@ class Replayer:
         }
         predicted: Dict[Metric, int] = {}
         cycles: Dict[str, Tuple[Fraction, Fraction]] = {}
+        cycles_scaled: Dict[str, Tuple[int, int]] = {}
         observed = trace.pcv_bindings()
         if entry is None:
             violations.append(f"packet {index}: no contract entry covers the execution")
@@ -314,6 +422,7 @@ class Replayer:
             for model_name, measure, predictors in self._cycle_programs:
                 measured_scaled = measure(trace)
                 predicted_scaled = predictors[class_name](bindings)
+                cycles_scaled[model_name] = (measured_scaled, predicted_scaled)
                 cycles[model_name] = (
                     Fraction(measured_scaled, cycle_scale),
                     Fraction(predicted_scaled, cycle_scale),
@@ -333,6 +442,7 @@ class Replayer:
             predicted=predicted,
             cycles=cycles,
             violations=tuple(violations),
+            cycles_scaled=cycles_scaled,
         )
 
     def replay(self, stimuli: Iterable[Stimulus], *, workload: str = "workload") -> ReplayResult:
@@ -349,6 +459,21 @@ class Replayer:
             outcomes.append(outcome)
             key = outcome.class_name if outcome.class_name is not None else "<unclassified>"
             summaries.setdefault(key, ClassSummary(key)).absorb(outcome)
+        scale = self._cycle_scale
+        tail_violations: List[str] = []
+        for name in sorted(summaries):
+            summary = summaries[name]
+            summary.compute_tails()
+            for model in sorted(summary.cycle_tails):
+                tails = summary.cycle_tails[model]
+                envelope = summary.cycle_tail_envelopes[model]
+                for p in TAIL_PERCENTILES:
+                    if tails[p] > envelope.get(p, 0):
+                        tail_violations.append(
+                            f"class {name}: {model} measured p{p} "
+                            f"{tails[p] / scale:.1f} cycles exceeds predicted "
+                            f"envelope {envelope.get(p, 0) / scale:.1f}"
+                        )
         return ReplayResult(
             nf_name=self.harness.name,
             workload=workload,
@@ -356,4 +481,6 @@ class Replayer:
             summaries=summaries,
             max_pcvs=max_pcvs,
             envelopes=dict(self._envelopes),
+            cycle_scale=scale,
+            tail_violations=tail_violations,
         )

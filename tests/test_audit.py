@@ -31,7 +31,7 @@ def test_nat_external_scan_leaks_under_both_models(gate_targets):
     assert finding.leaks and finding.verdict == LEAK
     assert finding.matches_expectation  # the channel is declared, not silent
     by_model = {v.model: v for v in finding.verdicts}
-    assert set(by_model) == {"conservative", "realistic"}
+    assert set(by_model) == {"conservative", "realistic", "simulated"}
     for verdict in by_model.values():
         assert not verdict.indistinguishable
         assert {verdict.class_a, verdict.class_b} == {"external_hit", "external_miss"}
@@ -93,7 +93,7 @@ def test_monitor_heavy_hitter_proof_is_a_zero_polynomial(gate_targets):
     [finding] = _audit("monitor", gate_targets)
     assert finding.secret_set.name == "heavy-hitter status"
     assert finding.verdict == CONSTANT_TIME and finding.matches_expectation
-    assert {v.model for v in finding.verdicts} == {"conservative", "realistic"}
+    assert {v.model for v in finding.verdicts} == {"conservative", "realistic", "simulated"}
     for verdict in finding.verdicts:
         assert verdict.indistinguishable
         assert not verdict.delta

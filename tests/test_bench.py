@@ -17,7 +17,7 @@ def test_bench_writes_a_green_report(tmp_path, capsys):
     assert report["schema"] == "repro-bench/1"
     assert report["ok"] is True
     assert set(report["nfs"]) == {"bridge", "router", "nat", "lb", "firewall", "monitor"}
-    assert set(report["hw_models"]) == {"conservative", "realistic"}
+    assert set(report["hw_models"]) == {"conservative", "realistic", "simulated"}
     for nf, record in report["nfs"].items():
         assert record["failures"] == 0
         assert set(record["workloads"]) == {
@@ -189,9 +189,97 @@ def test_bench_report_is_bit_identical_for_any_worker_count(tmp_path):
     fanned = tmp_path / "fanned.json"
     assert cli.main(["bench", "--output", str(serial), "--packets", "30", "--workers", "1"]) == 0
     assert cli.main(["bench", "--output", str(fanned), "--packets", "30", "--workers", "4"]) == 0
-    assert _strip_timing(json.loads(serial.read_text())) == _strip_timing(
-        json.loads(fanned.read_text())
+    serial_report = json.loads(serial.read_text())
+    # The tail distributions participate in the byte-identity guarantee:
+    # they are present (each cell rebuilds its simulated model from a cold
+    # cache, so fan-out cannot skew them) and they are NOT stripped below.
+    for record in serial_report["nfs"].values():
+        for workload in record["workloads"].values():
+            assert any("cycle_tails" in cls for cls in workload["classes"].values())
+    assert _strip_timing(serial_report) == _strip_timing(json.loads(fanned.read_text()))
+
+
+def test_bench_cells_record_ordered_simulated_tails(tmp_path):
+    """Every class row carries 0 < p50 ≤ p95 ≤ p99 ≤ max per model, and
+    every measured tail sits under its predicted envelope."""
+    output = tmp_path / "BENCH_eval.json"
+    assert cli.main(["bench", "--output", str(output), "--packets", "40"]) == 0
+    report = json.loads(output.read_text())
+    checked = 0
+    for nf, record in report["nfs"].items():
+        for name, workload in record["workloads"].items():
+            for cls, summary in workload["classes"].items():
+                tails = summary["cycle_tails"]
+                envelopes = summary["cycle_tail_envelopes"]
+                assert set(tails) == {"conservative", "realistic", "simulated"}
+                for model, t in tails.items():
+                    where = (nf, name, cls, model)
+                    assert 0 < t["p50"] <= t["p95"] <= t["p99"] <= t["max"], where
+                    for p in ("p50", "p95", "p99"):
+                        assert t[p] <= envelopes[model][p], where + (p,)
+                    checked += 1
+    assert checked > 100  # the whole matrix reported distributions
+
+
+def test_bench_goes_red_when_a_tail_envelope_is_doctored(monkeypatch, tmp_path, capsys):
+    """Zeroing the predicted envelopes must surface as tail violations —
+    the distribution check is live, not vacuously green."""
+    from repro.traffic import replayer as replayer_module
+
+    monkeypatch.setattr(
+        replayer_module,
+        "tail_envelopes",
+        lambda predicted_samples: {p: 0 for p in replayer_module.TAIL_PERCENTILES},
     )
+    output = tmp_path / "BENCH_eval.json"
+    code = cli.main(
+        ["bench", "--output", str(output), "--packets", "30", "--workers", "1", "--nf", "bridge"]
+    )
+    assert code == 1
+    assert "BENCH FAILED" in capsys.readouterr().out
+    report = json.loads(output.read_text())
+    assert report["ok"] is False
+    violations = [
+        violation
+        for workload in report["nfs"]["bridge"]["workloads"].values()
+        for violation in workload["violations"]
+    ]
+    assert violations
+    assert all("exceeds predicted envelope" in v for v in violations)
+    assert any("measured p99" in v for v in violations)
+
+
+def test_bench_models_filter_restricts_the_matrix(tmp_path):
+    output = tmp_path / "BENCH_eval.json"
+    code = cli.main(
+        [
+            "bench",
+            "--output",
+            str(output),
+            "--packets",
+            "30",
+            "--nf",
+            "bridge",
+            "--models",
+            "simulated",
+        ]
+    )
+    assert code == 0
+    report = json.loads(output.read_text())
+    assert set(report["hw_models"]) == {"simulated"}
+    assert report["hw_models"]["simulated"]["caches"]["l1"]["sets"] == 32
+    assert report["filters"]["models"] == ["simulated"]
+    for workload in report["nfs"]["bridge"]["workloads"].values():
+        for summary in workload["classes"].values():
+            assert set(summary["max_cycles"]) == {"simulated"}
+            assert set(summary["cycle_tails"]) == {"simulated"}
+
+
+def test_bench_rejects_unknown_models(tmp_path, capsys):
+    output = tmp_path / "BENCH_eval.json"
+    assert cli.main(["bench", "--output", str(output), "--models", "quantum"]) == 2
+    assert "unknown hardware models" in capsys.readouterr().out
+    assert not output.exists()
 
 
 def test_bench_records_throughput_per_cell_and_in_aggregate(tmp_path):
@@ -226,7 +314,7 @@ def test_bench_nf_filter_writes_a_partial_report(tmp_path):
     assert report["ok"] is True
     assert set(report["nfs"]) == {"bridge", "lb"}
     assert report["graphs"] == {}
-    assert report["filters"] == {"nfs": ["bridge", "lb"], "graphs": []}
+    assert report["filters"] == {"nfs": ["bridge", "lb"], "graphs": [], "models": []}
 
 
 def test_bench_graph_filter_writes_a_partial_report(tmp_path):
@@ -238,7 +326,7 @@ def test_bench_graph_filter_writes_a_partial_report(tmp_path):
     report = json.loads(output.read_text())
     assert report["nfs"] == {}
     assert set(report["graphs"]) == {"lb_nat_router"}
-    assert report["filters"] == {"nfs": [], "graphs": ["lb_nat_router"]}
+    assert report["filters"] == {"nfs": [], "graphs": ["lb_nat_router"], "models": []}
     assert report["graphs"]["lb_nat_router"]["failures"] == 0
 
 

@@ -169,7 +169,7 @@ def test_bench_writes_a_well_formed_report(monkeypatch, tmp_path):
     assert report["ok"] is True
     assert report["packets_per_workload"] == 60
     assert set(report["nfs"]) == {spec.name for spec in cli.NF_MATRIX}
-    assert set(report["hw_models"]) == {"conservative", "realistic"}
+    assert set(report["hw_models"]) == {"conservative", "realistic", "simulated"}
     for spec in cli.NF_MATRIX:
         record = report["nfs"][spec.name]
         assert record["failures"] == 0
@@ -240,6 +240,7 @@ def test_contract_diff_names_the_drifted_class_and_exits_nonzero(tmp_path, capsy
     assert "external_miss" in printed
     assert "WORSENED" in printed
     assert "cycles@conservative" in printed and "cycles@realistic" in printed
+    assert "cycles@simulated" in printed
     assert "CONTRACT DIFF FAILED" in printed
 
 

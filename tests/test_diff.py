@@ -113,9 +113,14 @@ def test_sabotaged_bound_is_reported_with_class_and_metric(seed, gate_targets):
     [term] = [t for t in drift.terms if t.metric == metric and t.monomial == monomial]
     assert term.worsened
     assert term.current - term.golden == Fraction(3)
-    # Count drift must surface as a priced cycle consequence per model.
-    assert set(drift.cycle_deltas) == {"conservative", "realistic"}
-    assert all(delta > 0 for delta in drift.cycle_deltas.values())
+    assert set(drift.cycle_deltas) == {"conservative", "realistic", "simulated"}
+    if metric in (Metric.INSTRUCTIONS, Metric.MEMORY_ACCESSES):
+        # Count drift must surface as a priced cycle consequence per model.
+        assert all(delta > 0 for delta in drift.cycle_deltas.values())
+    else:
+        # Tail-column sabotage leaves the derived count pricing untouched:
+        # the drift is the tail term itself, not a cycle consequence.
+        assert all(delta == 0 for delta in drift.cycle_deltas.values())
     rendered = diff.render()
     assert class_name in rendered and "WORSENED" in rendered
 
@@ -168,6 +173,29 @@ def test_doctored_firewall_golden_turns_the_gate_red(tmp_path, capsys):
     # The untouched goldens in the same sandbox still pass on their own.
     capsys.readouterr()
     assert cli.main(["contract-diff", "--golden", str(sandbox), "--nf", "monitor"]) == 0
+
+
+def test_doctored_tail_column_turns_the_gate_red(tmp_path, capsys):
+    """Tail drift is drift: lowering the NAT golden's ``cycles_p99``
+    constant (the golden promises a tighter tail than the tree delivers)
+    must fail contract-diff naming the class and the percentile column."""
+    golden_dir = Path(__file__).parent / "golden"
+    sandbox = tmp_path / "golden"
+    sandbox.mkdir()
+    for path in golden_dir.glob("*.json"):
+        (sandbox / path.name).write_text(path.read_text())
+    payload = json.loads((sandbox / "nat.json").read_text())
+    entry = next(e for e in payload["entries"] if e["class"] == "external_miss")
+    constant = next(t for t in entry["exprs"]["cycles_p99"] if t[0] == [])
+    constant[1] = str(Fraction(str(constant[1])) - Fraction(1, 2))
+    (sandbox / "nat.json").write_text(json.dumps(payload))
+    assert cli.main(["contract-diff", "--golden", str(sandbox), "--nf", "nat"]) == 1
+    printed = capsys.readouterr().out
+    assert "external_miss" in printed and "WORSENED" in printed
+    assert "cycles_p99" in printed
+    # A tail-only regression has no count-derived cycle consequence.
+    assert "cycles@simulated: 0 at PCV bounds" in printed
+    assert "CONTRACT DIFF FAILED" in printed
 
 
 def test_checked_in_goldens_match_the_tree(gate_targets):

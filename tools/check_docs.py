@@ -8,16 +8,20 @@ tools/check_docs.py``).  Two guarantees:
    structure class in :func:`repro.cli.smoke_structures` (i.e. everything
    the CLI smoke output lists) has a section in ``docs/CONTRACTS.md``,
    and every NF appears in ``docs/ARCHITECTURE.md``'s module map.
-2. **Graphs** — every service graph in :data:`repro.cli.GRAPH_MATRIX`
+2. **Hardware** — every bench cycle model is discussed in
+   ``docs/CONTRACTS.md``; the cache-simulator backend additionally keeps
+   the tail-latency section (with every ``cycles_p*`` column) and the
+   ``repro.hw.cachesim`` module-map row alive.
+3. **Graphs** — every service graph in :data:`repro.cli.GRAPH_MATRIX`
    has a section in ``docs/SERVICE_GRAPHS.md`` naming each of its hop
    NFs, and the authoring guides cross-link each other so the layering
    story stays navigable.
-3. **CLI** — every subcommand registered in :data:`repro.cli.SUBCOMMANDS`
+4. **CLI** — every subcommand registered in :data:`repro.cli.SUBCOMMANDS`
    (``smoke``, ``bench``, ``graph``, ``contract-diff``, ``ct-audit``, …)
    has a README line naming it in backticks together with backticked
    exit codes, so the exit-code semantics CI scripts rely on stay
    documented.
-4. **Quickstart** — the fenced ``python`` code blocks of the README run
+5. **Quickstart** — the fenced ``python`` code blocks of the README run
    verbatim, in order, in one shared namespace (they build on each
    other), so the copy-pasteable quickstart cannot rot.
 
@@ -35,7 +39,14 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO / "src"))
 
-from repro.cli import GRAPH_MATRIX, NF_MATRIX, SUBCOMMANDS, smoke_structures  # noqa: E402
+from repro.cli import (  # noqa: E402
+    GRAPH_MATRIX,
+    NF_MATRIX,
+    SUBCOMMANDS,
+    _bench_models,
+    smoke_structures,
+)
+from repro.core.contract import TAIL_METRICS  # noqa: E402
 
 
 def python_blocks(markdown: str) -> list[str]:
@@ -74,6 +85,42 @@ def check_contract_docs(failures: list[str]) -> None:
             failures.append(
                 f"docs/CONTRACTS.md: NF {spec.name!r} input classes never "
                 f"mentioned: {missing}"
+            )
+
+
+def check_hw_docs(failures: list[str]) -> None:
+    """The hardware-model registry drives the docs like the NF one does.
+
+    Every bench cycle model must be discussed in ``docs/CONTRACTS.md``;
+    as long as an access-stream-driven model (the cache-simulator
+    backend) is registered, the tail-latency section and every tail
+    metric column must be documented there too, and the simulator module
+    must appear in ``docs/ARCHITECTURE.md``'s module map.
+    """
+    contracts = (REPO / "docs" / "CONTRACTS.md").read_text(encoding="utf-8")
+    architecture = (REPO / "docs" / "ARCHITECTURE.md").read_text(encoding="utf-8")
+    models = _bench_models()
+    for model in models:
+        if not re.search(rf"\b{re.escape(model.name)}\b", contracts, flags=re.IGNORECASE):
+            failures.append(
+                f"docs/CONTRACTS.md: hardware model {model.name!r} never discussed "
+                "(the bench prices with it; document its assumptions)"
+            )
+    if any(model.requires_access_stream for model in models):
+        if "Tail-latency contracts" not in contracts:
+            failures.append(
+                "docs/CONTRACTS.md: no 'Tail-latency contracts' section "
+                "(the simulated backend emits tail columns; document them)"
+            )
+        missing = [str(metric) for metric in TAIL_METRICS if f"`{metric}`" not in contracts]
+        if missing:
+            failures.append(
+                f"docs/CONTRACTS.md: tail metric columns never mentioned: {missing}"
+            )
+        if "repro.hw.cachesim" not in architecture.replace("`", ""):
+            failures.append(
+                "docs/ARCHITECTURE.md: repro.hw.cachesim missing from the module map "
+                "(it backs the simulated model and the tail calibration)"
             )
 
 
@@ -149,10 +196,13 @@ def check_readme_quickstart(failures: list[str]) -> None:
 def main() -> int:
     failures: list[str] = []
     check_contract_docs(failures)
+    check_hw_docs(failures)
     check_graph_docs(failures)
     check_cli_docs(failures)
     check_readme_quickstart(failures)
     structures = ", ".join(sorted({type(s).__name__ for s in smoke_structures()}))
+    models = ", ".join(model.name for model in _bench_models())
+    print(f"checked hardware models: {models}")
     nfs = ", ".join(spec.name for spec in NF_MATRIX)
     graphs = ", ".join(spec.name for spec in GRAPH_MATRIX)
     subcommands = ", ".join(name for name, _ in SUBCOMMANDS)
